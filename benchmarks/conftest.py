@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark/experiment suite.
+
+Every benchmark runs a full experiment harness once (rounds=1): the
+simulations are deterministic, so repetition only adds wall-clock time.
+Each module prints the paper-style table/series it regenerates and then
+asserts the qualitative reproduction targets from DESIGN.md.
+"""
+
+import os
+
+import pytest
+
+from repro.config import PlatformConfig
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """The default scaled evaluation platform (Table 2 analog)."""
+    return PlatformConfig()
+
+
+@pytest.fixture(scope="session")
+def seed():
+    """Seed shared by every experiment (override via REPRO_SEED)."""
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,44 @@
+"""Bench: regenerate the configuration tables (Table 2 and Table 3).
+
+These tables describe the evaluation setup rather than measurements; the
+bench renders them from the live configuration/registry so they always
+reflect what the other benchmarks actually ran on.
+"""
+
+from conftest import run_once
+
+from repro.metrics.report import Table
+from repro.workloads.registry import table3_rows
+
+
+def render_table2(platform):
+    table = Table(["Parameter", "Value"], title="Table 2: simulated platform")
+    for name, value in platform.table2_rows():
+        table.add_row(name, value)
+    return table.render()
+
+
+def render_table3():
+    table = Table(
+        ["Role", "Name", "Description"],
+        title="Table 3: evaluated benchmarks and co-runners",
+    )
+    for role, name, description in table3_rows():
+        table.add_row(role, name, description)
+    return table.render()
+
+
+def test_table2(benchmark, platform):
+    text = run_once(benchmark, render_table2, platform)
+    print()
+    print(text)
+    assert "LLC" in text
+    assert "Guest memory" in text
+
+
+def test_table3(benchmark):
+    text = run_once(benchmark, render_table3)
+    print()
+    print(text)
+    for name in ("pagerank", "mcf", "xz", "objdet", "stress-ng"):
+        assert name in text

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 5 -- host-PT fragmentation with objdet.
+
+Reproduction targets:
+* the default kernel's fragmentation metric is well above 1 for every
+  benchmark (colocation scatters hPTEs);
+* PTEMagnet pins the metric at ~1 for every benchmark (paper: "reduces
+  fragmentation in the host PT to almost 1 for all evaluated benchmarks").
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_figure5, run_figure5
+
+
+def test_figure5(benchmark, platform, seed):
+    result = run_once(benchmark, run_figure5, platform, seed=seed)
+    print()
+    print(render_figure5(result))
+
+    assert len(result.fragmentation) == 8
+    for name, (default, ptemagnet) in result.fragmentation.items():
+        assert default > 2.5, f"{name}: default kernel should be fragmented"
+        assert ptemagnet < 1.2, f"{name}: PTEMagnet should pin metric at ~1"
+        assert ptemagnet < default

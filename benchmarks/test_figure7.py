@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 7 -- performance with a co-runner combination.
+
+Reproduction targets:
+* every benchmark still improves under the full co-runner crowd;
+* improvements stay in the single-digit band (paper: 3% avg, 5% max).
+
+Known modelling divergence (documented in EXPERIMENTS.md): the paper
+reports *slightly lower* average gains than Figure 6 because LLC
+contention evicts PTEMagnet's grouped hPTE blocks between reuses. In this
+model most grouped-block reuse happens at private-L1 distance, which
+contention cannot touch, while the larger co-runner crowd fragments the
+default kernel *more* -- so the model's Figure 7 gains come out at or
+above its Figure 6 gains instead.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_figure7, run_figure7
+
+
+def test_figure7(benchmark, platform, seed):
+    result = run_once(benchmark, run_figure7, platform, seed=seed)
+    print()
+    print(render_figure7(result))
+
+    assert len(result.improvements) == 8
+    for name, improvement in result.improvements.items():
+        assert improvement > 0.0, f"{name} must not be slowed down"
+        assert improvement < 15.0, f"{name}: gain implausibly large"
+    assert 1.5 <= result.geomean <= 10.0

@@ -1,0 +1,36 @@
+"""Bench: regenerate the §6.2 study -- non-allocated pages in reservations.
+
+Reproduction targets:
+* for every real benchmark, reserved-but-unmapped pages peak below 1% of
+  the resident footprint (paper: never exceeds 0.2%);
+* the adversarial every-8th-page application holds ~7x its footprint in
+  unmapped reservations (the paper's worst-case construction).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    render_sec62,
+    run_adversarial_sec62,
+    run_sec62,
+)
+
+
+def run_both(platform, seed):
+    result = run_sec62(platform, seed=seed)
+    adversarial = run_adversarial_sec62(platform, seed=seed)
+    return result, adversarial
+
+
+def test_sec62(benchmark, platform, seed):
+    result, adversarial = run_once(benchmark, run_both, platform, seed)
+    print()
+    print(render_sec62(result, adversarial))
+
+    peaks = result.peaks()
+    assert len(peaks) == 8
+    for name, peak in peaks.items():
+        assert peak < 1.0, (
+            f"{name}: unmapped reserved pages peaked at {peak:.2f}% of RSS"
+        )
+    assert 6.0 <= adversarial <= 7.0  # paper: up to 7x

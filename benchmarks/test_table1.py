@@ -1,0 +1,35 @@
+"""Bench: regenerate Table 1 (§3.3) -- the cost of host-PT fragmentation.
+
+Reproduction targets (shape, not absolute numbers):
+* execution time, page-walk cycles and host-PT traversal cycles all rise
+  under post-colocation fragmentation;
+* host-PT memory accesses rise by an order more than guest-PT ones;
+* cache and TLB misses stay flat (the effect is purely about PT locality);
+* the fragmentation metric roughly triples (paper: 2.8 -> 6.8).
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1(benchmark, platform, seed):
+    result = run_once(benchmark, run_table1, platform, seed)
+    print()
+    print(render_table1(result))
+
+    rows = dict(result.rows())
+    assert rows["Execution time"] > 1.0
+    assert rows["Page walk cycles"] > 20.0
+    assert rows["Cycles traversing host PT"] > 40.0
+    assert rows["Host PT accesses served by memory"] > 50.0
+    # gPT behaviour barely moves while hPT degrades badly.
+    assert (
+        rows["Host PT accesses served by memory"]
+        > 5 * abs(rows["Guest PT accesses served by memory"])
+    )
+    assert abs(rows["TLB misses"]) < 5.0
+    assert abs(rows["Cache misses (data)"]) < 5.0
+    before, after = result.fragmentation_before_after
+    assert after > 2 * before
+    assert after > 4.0

@@ -1,0 +1,27 @@
+"""Bench: regenerate Table 4 (§6.3) -- pagerank + objdet under PTEMagnet.
+
+Reproduction targets (all changes negative, as in the paper):
+* fragmentation collapses to ~1 (paper: 3.4 -> 1.2, -66%);
+* execution time, page-walk cycles and host-PT traversal cycles all fall;
+* host-PT memory accesses fall substantially more than guest-PT ones.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table4, run_table4
+
+
+def test_table4(benchmark, platform, seed):
+    result = run_once(benchmark, run_table4, platform, seed)
+    print()
+    print(render_table4(result))
+
+    rows = dict(result.rows())
+    assert rows["Host page table fragmentation"] < -40.0  # paper: -66%
+    assert rows["Execution time"] < -1.0  # paper: -7%
+    assert rows["Page walk cycles"] < -5.0  # paper: -17%
+    assert rows["Cycles traversing host PT"] < -10.0  # paper: -26%
+    assert rows["Host PT accesses served by memory"] < 0.0  # paper: -13%
+    before, after = result.fragmentation_before_after
+    assert after < 1.2
+    assert before > 2.5

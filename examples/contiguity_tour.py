@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Contiguity tour: re-creates the content of the paper's Figures 1-4.
+
+The paper's first four figures are conceptual diagrams about contiguity
+in the four address spaces (guest virtual, guest physical = host virtual,
+host physical) and how page walks traverse PTE cache blocks. This example
+reproduces their content as printed address-space maps taken from a live
+simulation:
+
+* Figure 1/4: two applications allocate interleaved inside one VM; their
+  guest-virtual regions are contiguous while guest-physical frames
+  interleave.
+* Figure 2/3: the leaf-PTE cache blocks touched when walking 8 adjacent
+  pages -- one block when frames are contiguous, many when fragmented.
+
+Run:  python examples/contiguity_tour.py
+"""
+
+from repro import PlatformConfig, Simulation
+from repro.metrics.fragmentation import group_block_counts
+from repro.units import RESERVATION_PAGES
+from repro.workloads.base import (
+    AccessOp,
+    MmapOp,
+    PhaseOp,
+    Workload,
+    WorkloadPhase,
+)
+
+
+class TouchRegion(Workload):
+    """Allocate one region and touch its pages in order."""
+
+    def __init__(self, name: str, npages: int) -> None:
+        super().__init__(name)
+        self.npages = npages
+
+    @property
+    def footprint_pages(self) -> int:
+        return self.npages
+
+    def ops(self):
+        yield MmapOp("data", self.npages)
+        yield PhaseOp(WorkloadPhase.COMPUTE)
+        for page in range(self.npages):
+            yield AccessOp("data", page, write=True)
+        yield PhaseOp(WorkloadPhase.DONE)
+
+
+def show_mapping(title: str, run, pages: int = 16) -> None:
+    """Print the first ``pages`` virtual->physical mappings of a run."""
+    print(f"\n{title}")
+    vma = run._regions["data"]
+    print("  guest vpn      gfn   (gfn deltas show physical interleaving)")
+    previous = None
+    for i in range(pages):
+        vpn = vma.start_vpn + i
+        gfn = run.process.page_table.translate(vpn)
+        delta = "" if previous is None else f"  (delta {gfn - previous:+d})"
+        print(f"  {vpn:#10x}  {gfn:>6}{delta}")
+        previous = gfn
+
+
+def show_walk_blocks(title: str, run) -> None:
+    """Print hPTE cache blocks per 8-page group (Figure 2's trajectories)."""
+    counts = group_block_counts(run.process, min_mapped=RESERVATION_PAGES)
+    if not counts:
+        print(f"{title}: no full groups mapped")
+        return
+    average = sum(counts) / len(counts)
+    print(
+        f"{title}: {len(counts)} groups of 8 pages; "
+        f"hPTE cache blocks per group: min {min(counts)}, "
+        f"max {max(counts)}, avg {average:.2f}"
+    )
+
+
+def run_scenario(ptemagnet: bool) -> None:
+    kernel_name = "PTEMagnet" if ptemagnet else "default"
+    print("\n" + "=" * 64)
+    print(f"Scenario: two applications interleaving, {kernel_name} kernel")
+    print("=" * 64)
+
+    sim = Simulation(PlatformConfig().with_ptemagnet(ptemagnet))
+    sim.scheduler.ops_per_slice = 1  # interleave at fault granularity
+    app_a = sim.add_workload(TouchRegion("app-A", 64))
+    app_b = sim.add_workload(TouchRegion("app-B", 64))
+    sim.run_until_finished(app_a)
+    sim.run_until_finished(app_b)
+
+    show_mapping("app-A: guest-virtual pages vs guest-physical frames", app_a)
+    print()
+    show_walk_blocks("app-A page-walk footprint", app_a)
+    show_walk_blocks("app-B page-walk footprint", app_b)
+
+
+def main() -> None:
+    print(
+        "Figures 1-4 tour: contiguity in virtual and physical address\n"
+        "spaces under colocation, with and without PTEMagnet."
+    )
+    run_scenario(ptemagnet=False)
+    run_scenario(ptemagnet=True)
+    print(
+        "\nWith the default kernel, interleaved faults give each app\n"
+        "alternating guest-physical frames, so the hPTEs of 8 adjacent\n"
+        "pages scatter over several cache blocks (Figure 2a). PTEMagnet's\n"
+        "reservations keep each 8-page group in one aligned frame chunk,\n"
+        "so each group's hPTEs share exactly one cache block (Figure 2b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

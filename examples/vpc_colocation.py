@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""VPC colocation study: a Kubernetes-style bin-packed VM (§3.4).
+
+Models the paper's motivating deployment: a large VM in a virtual private
+cloud receives several unrelated tasks at once (bin-packing placement).
+A big-memory analytics job (pagerank) lands next to a serverless-style
+crowd (objdet, json_serdes, rnn_serving). The example reports, per
+kernel:
+
+* the analytics job's execution time and page-walk breakdown,
+* host-PT fragmentation for *every* tenant,
+* guest-kernel allocator statistics (reservation hit rates),
+
+and demonstrates the cgroup gate of §4.4: PTEMagnet enabled only for
+processes whose declared memory limit marks them as big-memory.
+
+Run:  python examples/vpc_colocation.py
+"""
+
+import dataclasses
+
+from repro import PlatformConfig, Simulation, make_benchmark, make_corunner
+from repro.metrics.fragmentation import host_pt_fragmentation
+from repro.units import MB
+from repro.workloads import WorkloadPhase
+
+#: Declared cgroup memory limits, as the orchestrator would set them.
+MEMORY_LIMITS = {
+    "pagerank": 64 * MB,
+    "objdet": 24 * MB,
+    "json_serdes": 4 * MB,
+    "rnn_serving": 8 * MB,
+}
+
+#: The cgroup gate: only containers declaring >= 16MB get PTEMagnet.
+GATE_BYTES = 16 * MB
+
+
+def run_vm(ptemagnet: bool):
+    guest = dataclasses.replace(
+        PlatformConfig().guest,
+        ptemagnet_enabled=ptemagnet,
+        ptemagnet_memory_limit_bytes=GATE_BYTES if ptemagnet else 0,
+    )
+    platform = dataclasses.replace(PlatformConfig(), guest=guest)
+    sim = Simulation(platform)
+    sim.scheduler.ops_per_slice = 2
+
+    crowd = []
+    for name in ("objdet", "json_serdes", "rnn_serving"):
+        run = sim.add_workload(
+            make_corunner(name), memory_limit_bytes=MEMORY_LIMITS[name]
+        )
+        run.fast_forward = True
+        crowd.append(run)
+    for _ in range(800):
+        sim.turn()
+
+    bench = sim.add_workload(
+        make_benchmark("pagerank"), memory_limit_bytes=MEMORY_LIMITS["pagerank"]
+    )
+    bench.fast_forward = True
+    sim.run_until_phase(bench, WorkloadPhase.COMPUTE)
+    bench.fast_forward = False
+    for run in crowd:
+        run.fast_forward = False
+    for _ in range(50):
+        sim.turn()
+    bench.start_measurement()
+    sim.run_until_finished(bench)
+    return sim, bench, crowd
+
+
+def report(sim, bench, crowd, ptemagnet: bool) -> int:
+    kernel = "PTEMagnet (cgroup-gated)" if ptemagnet else "default"
+    counters = sim.result_for(bench).counters
+    print(f"\n--- {kernel} kernel " + "-" * max(0, 40 - len(kernel)))
+    print(
+        f"pagerank: {counters.cycles} cycles, "
+        f"{counters.walk_cycles} in walks "
+        f"({counters.host_walk_cycles} in the host PT)"
+    )
+    print("host-PT fragmentation per tenant:")
+    for run in [bench] + crowd:
+        frag = host_pt_fragmentation(run.process)
+        gated = run.process.part is not None
+        print(
+            f"  {run.workload.name:>12}: {frag:5.2f}"
+            + ("   [PaRT attached]" if gated else "")
+        )
+    if sim.kernel.ptemagnet is not None:
+        stats = sim.kernel.ptemagnet.stats
+        print(
+            f"allocator: {stats.reservations_created} reservations, "
+            f"{stats.reservation_hits} fast-path hits, "
+            f"{stats.fallback_single_pages} fallbacks"
+        )
+    return counters.cycles
+
+
+def main() -> None:
+    print("VPC bin-packing scenario: pagerank + serverless crowd in one VM")
+    sim_d, bench_d, crowd_d = run_vm(ptemagnet=False)
+    default_cycles = report(sim_d, bench_d, crowd_d, ptemagnet=False)
+    sim_m, bench_m, crowd_m = run_vm(ptemagnet=True)
+    magnet_cycles = report(sim_m, bench_m, crowd_m, ptemagnet=True)
+    improvement = (default_cycles - magnet_cycles) / default_cycles
+    print(f"\nPTEMagnet speedup for the analytics tenant: {improvement:.1%}")
+    print(
+        "Note the cgroup gate: only tenants declaring >= "
+        f"{GATE_BYTES // MB}MB limits carry a PaRT; small serverless\n"
+        "tenants keep the stock fault path, exactly as §4.4 proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""PTEMagnet reproduction library.
+
+A software model of the full system from "PTEMagnet: Fine-Grained
+Physical Memory Reservation for Faster Page Walks in Public Clouds"
+(ASPLOS 2021): guest/host kernels with buddy allocators, 4-level radix
+page tables, nested (2D) page walks through a modelled cache hierarchy
+with TLBs and page-walk caches, the PTEMagnet reservation allocator, the
+paper's workloads, and experiment harnesses regenerating every table and
+figure of the evaluation.
+
+Quickstart::
+
+    from repro import PlatformConfig, Simulation, make_benchmark, make_corunner
+
+    platform = PlatformConfig().with_ptemagnet(True)
+    sim = Simulation(platform)
+    bench = sim.add_workload(make_benchmark("pagerank"))
+    sim.add_workload(make_corunner("objdet"))
+    sim.run_until_finished(bench)
+    print(sim.result_for(bench).counters.host_pt_fragmentation)
+"""
+
+from .config import (
+    CacheConfig,
+    GuestConfig,
+    HostConfig,
+    MachineConfig,
+    PlatformConfig,
+    PwcConfig,
+    TlbConfig,
+)
+from .core import (
+    PTEMagnetAllocator,
+    PageReservationTable,
+    Reservation,
+    ReservationReclaimer,
+)
+from .errors import (
+    AllocationError,
+    OutOfMemoryError,
+    PageTableError,
+    ReproError,
+    ReservationError,
+    SegmentationFault,
+    SimulationError,
+    WorkloadError,
+)
+from .metrics import (
+    PerfCounters,
+    fragmented_group_fraction,
+    host_pt_fragmentation,
+    percent_change,
+)
+from .sim import RunResult, Simulation, SimulationResult, WorkloadRun
+from .workloads import (
+    BENCHMARKS,
+    CO_RUNNERS,
+    WorkloadPhase,
+    make_benchmark,
+    make_corunner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "BENCHMARKS",
+    "CO_RUNNERS",
+    "CacheConfig",
+    "GuestConfig",
+    "HostConfig",
+    "MachineConfig",
+    "OutOfMemoryError",
+    "PTEMagnetAllocator",
+    "PageReservationTable",
+    "PageTableError",
+    "PerfCounters",
+    "PlatformConfig",
+    "PwcConfig",
+    "ReproError",
+    "Reservation",
+    "ReservationError",
+    "ReservationReclaimer",
+    "RunResult",
+    "SegmentationFault",
+    "Simulation",
+    "SimulationError",
+    "SimulationResult",
+    "TlbConfig",
+    "WorkloadError",
+    "WorkloadPhase",
+    "WorkloadRun",
+    "fragmented_group_fraction",
+    "host_pt_fragmentation",
+    "make_benchmark",
+    "make_corunner",
+    "percent_change",
+    "__version__",
+]

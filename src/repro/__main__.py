@@ -1,0 +1,33 @@
+"""``python -m repro``: print library, platform and experiment info."""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+from .config import PlatformConfig
+from .experiments.runner import EXPERIMENTS
+from .workloads.registry import BENCHMARKS, CO_RUNNERS
+
+
+def main() -> int:
+    platform = PlatformConfig()
+    print(f"repro {__version__} -- PTEMagnet (ASPLOS 2021) reproduction")
+    print(f"simulated platform: {platform.machine.describe()}")
+    print(
+        f"guest {platform.guest.memory_bytes >> 20}MB / "
+        f"host {platform.host.memory_bytes >> 20}MB, "
+        f"{platform.guest.vcpus} vCPUs"
+    )
+    print(f"benchmarks: {', '.join(BENCHMARKS)}")
+    print(f"co-runners: {', '.join(CO_RUNNERS)}")
+    print(f"experiments: {', '.join(sorted(EXPERIMENTS))}")
+    print(
+        "\nrun experiments:  python -m repro.experiments.runner --experiment all"
+        "\ngrade results:    python -m repro.analysis.report results.json"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Post-processing of experiment results."""
+
+from .report import load_results, render_markdown_report, verdicts
+
+__all__ = ["load_results", "render_markdown_report", "verdicts"]

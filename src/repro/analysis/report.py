@@ -1,0 +1,193 @@
+"""Turn the CLI runner's JSON results into a paper-vs-measured report.
+
+Workflow::
+
+    python -m repro.experiments.runner --experiment all --json results.json
+    python -m repro.analysis.report results.json > report.md
+
+The module also encodes the reproduction targets from DESIGN.md as
+machine-checkable verdicts, so a results file can be graded
+programmatically (used by tests and by the report's summary table).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Tuple
+
+def load_results(path: str) -> dict:
+    """Load a runner-produced results JSON file."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def verdicts(results: dict) -> List[Tuple[str, bool, str]]:
+    """Grade ``results`` against the DESIGN.md reproduction targets.
+
+    Returns ``(target, passed, detail)`` tuples. Missing experiments are
+    skipped (a partial run grades only what it contains).
+    """
+    out: List[Tuple[str, bool, str]] = []
+
+    table1 = results.get("table1")
+    if table1:
+        out.append(
+            (
+                "Table 1: fragmentation raises walk cycles",
+                table1["Page walk cycles"] > 20.0,
+                f"+{table1['Page walk cycles']:.1f}% (paper +61%)",
+            )
+        )
+        hpt = table1["Host PT accesses served by memory"]
+        gpt = abs(table1["Guest PT accesses served by memory"])
+        out.append(
+            (
+                "Table 1: hPT degrades far more than gPT",
+                hpt > 5 * max(gpt, 1e-9),
+                f"hPT +{hpt:.0f}% vs gPT {gpt:.0f}% (paper +283% vs +3%)",
+            )
+        )
+
+    figure5 = results.get("figure5")
+    if figure5:
+        pinned = all(v["ptemagnet"] <= 1.2 for v in figure5.values())
+        fragmented = all(v["default"] >= 2.5 for v in figure5.values())
+        out.append(
+            (
+                "Figure 5: PTEMagnet pins fragmentation at ~1",
+                pinned and fragmented,
+                f"{len(figure5)} benchmarks",
+            )
+        )
+
+    figure6 = results.get("figure6")
+    if figure6:
+        improvements = figure6["improvements"]
+        out.append(
+            (
+                "Figure 6: no benchmark slowed down",
+                all(v > 0 for v in improvements.values()),
+                f"min {min(improvements.values()):+.2f}%",
+            )
+        )
+        out.append(
+            (
+                "Figure 6: geomean in the paper's band",
+                1.5 <= figure6["geomean"] <= 8.0,
+                f"{figure6['geomean']:.2f}% (paper 4%)",
+            )
+        )
+
+    figure7 = results.get("figure7")
+    if figure7:
+        out.append(
+            (
+                "Figure 7: all positive under the co-runner crowd",
+                all(v > 0 for v in figure7["improvements"].values()),
+                f"geomean {figure7['geomean']:.2f}% (paper 3%)",
+            )
+        )
+
+    sec62 = results.get("sec62")
+    if sec62:
+        peaks = sec62["peaks_percent"]
+        out.append(
+            (
+                "Sec 6.2: reserved-unmapped pages below 1% of footprint",
+                all(v < 1.0 for v in peaks.values()),
+                f"max {max(peaks.values()):.3f}% (paper <=0.2%)",
+            )
+        )
+        out.append(
+            (
+                "Sec 6.2: stride-8 adversary holds ~7x",
+                6.0 <= sec62["adversarial_ratio"] <= 7.0,
+                f"{sec62['adversarial_ratio']:.1f}x",
+            )
+        )
+
+    sec64 = results.get("sec64")
+    if sec64:
+        out.append(
+            (
+                "Sec 6.4: allocation not slowed by PTEMagnet",
+                -5.0 < sec64["change_percent"] < 0.5,
+                f"{sec64['change_percent']:+.2f}% (paper -0.5%)",
+            )
+        )
+    return out
+
+
+def render_markdown_report(results: dict) -> str:
+    """Render a markdown paper-vs-measured report from ``results``."""
+    lines = ["# PTEMagnet reproduction report", ""]
+
+    graded = verdicts(results)
+    if graded:
+        lines += ["## Reproduction verdicts", ""]
+        lines.append("| Target | Verdict | Detail |")
+        lines.append("|---|---|---|")
+        for target, passed, detail in graded:
+            lines.append(
+                f"| {target} | {'PASS' if passed else 'FAIL'} | {detail} |"
+            )
+        lines.append("")
+
+    figure6 = results.get("figure6")
+    if figure6:
+        lines += ["## Figure 6: improvement with objdet", ""]
+        lines.append("| Benchmark | Improvement |")
+        lines.append("|---|---|")
+        for name, value in figure6["improvements"].items():
+            lines.append(f"| {name} | {value:+.2f}% |")
+        lines.append(f"| **geomean** | **{figure6['geomean']:+.2f}%** |")
+        lines.append("")
+
+    figure7 = results.get("figure7")
+    if figure7:
+        lines += ["## Figure 7: improvement with the co-runner crowd", ""]
+        lines.append("| Benchmark | Improvement |")
+        lines.append("|---|---|")
+        for name, value in figure7["improvements"].items():
+            lines.append(f"| {name} | {value:+.2f}% |")
+        lines.append(f"| **geomean** | **{figure7['geomean']:+.2f}%** |")
+        lines.append("")
+
+    figure5 = results.get("figure5")
+    if figure5:
+        lines += ["## Figure 5: host-PT fragmentation", ""]
+        lines.append("| Benchmark | Default | PTEMagnet |")
+        lines.append("|---|---|---|")
+        for name, value in figure5.items():
+            lines.append(
+                f"| {name} | {value['default']:.2f} | {value['ptemagnet']:.2f} |"
+            )
+        lines.append("")
+
+    for key, title in (("table1", "Table 1"), ("table4", "Table 4")):
+        table = results.get(key)
+        if not table:
+            continue
+        lines += [f"## {title}: metric changes", ""]
+        lines.append("| Metric | Change |")
+        lines.append("|---|---|")
+        for name, value in table.items():
+            if isinstance(value, (int, float)):
+                lines.append(f"| {name} | {value:+.1f}% |")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.analysis.report RESULTS.json", file=sys.stderr)
+        return 2
+    print(render_markdown_report(load_results(argv[0])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

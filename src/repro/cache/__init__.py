@@ -1,0 +1,15 @@
+"""CPU caching substrate: set-associative caches, the three-level
+hierarchy with per-stream hit/miss accounting, and page-walk caches.
+"""
+
+from .hierarchy import AccessOutcome, CacheHierarchy, StreamCounters
+from .pwc import PageWalkCache
+from .set_assoc import SetAssociativeCache
+
+__all__ = [
+    "AccessOutcome",
+    "CacheHierarchy",
+    "PageWalkCache",
+    "SetAssociativeCache",
+    "StreamCounters",
+]

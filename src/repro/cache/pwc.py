@@ -1,0 +1,95 @@
+"""Page-walk caches (Intel-style paging-structure caches).
+
+One small LRU cache per page-table level stores recently used node frames
+keyed by the virtual-address prefix the node covers. On a walk, the deepest
+hit lets the walker start directly at that node, skipping every level above
+it (§2.5). Because PWCs absorb most upper-level accesses, the *leaf* level
+dominates PT cache traffic -- the premise of the paper's leaf-PTE locality
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..units import BITS_PER_LEVEL, PT_LEVELS
+
+
+class PageWalkCache:
+    """Per-level node caches with LRU replacement.
+
+    Parameters
+    ----------
+    entries_per_level:
+        Capacity of each level's cache; ``0`` disables the PWC entirely
+        (every walk then issues all four accesses -- used by the ablation
+        benchmark).
+    """
+
+    def __init__(self, entries_per_level: int = 32) -> None:
+        if entries_per_level < 0:
+            raise ValueError("entries_per_level must be non-negative")
+        self.entries_per_level = entries_per_level
+        # _levels[level] maps vpn-prefix -> node frame. Sized for up to
+        # 6-level tables so the same PWC serves 4- and 5-level walks.
+        self._levels: Dict[int, Dict[int, int]] = {
+            level: {} for level in range(1, 7)
+        }
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _prefix(vpn: int, level: int) -> int:
+        """VPN prefix identifying the level-``level`` node covering ``vpn``.
+
+        A level-1 (leaf) node covers 512 pages -> prefix is ``vpn >> 9``;
+        each level up drops 9 more bits.
+        """
+        return vpn >> (BITS_PER_LEVEL * level)
+
+    def lookup(self, vpn: int) -> Optional[Tuple[int, int]]:
+        """Deepest cached node covering ``vpn``.
+
+        Returns ``(level, node_frame)`` for the lowest level with a hit, or
+        ``None`` on a complete miss. Updates LRU order of the hit entry.
+        """
+        if self.entries_per_level == 0:
+            return None
+        for level in range(1, 7):
+            entries = self._levels[level]
+            prefix = self._prefix(vpn, level)
+            frame = entries.get(prefix)
+            if frame is not None:
+                del entries[prefix]
+                entries[prefix] = frame  # refresh LRU position
+                self.hits += 1
+                return level, frame
+        self.misses += 1
+        return None
+
+    def fill(self, vpn: int, level: int, node_frame: int) -> None:
+        """Record that the level-``level`` node covering ``vpn`` is
+        ``node_frame``."""
+        if self.entries_per_level == 0:
+            return
+        entries = self._levels[level]
+        prefix = self._prefix(vpn, level)
+        if prefix in entries:
+            del entries[prefix]
+        elif len(entries) >= self.entries_per_level:
+            del entries[next(iter(entries))]
+        entries[prefix] = node_frame
+
+    def invalidate_vpn(self, vpn: int) -> None:
+        """Drop every cached node covering ``vpn`` (after unmap/update)."""
+        for level in range(1, 7):
+            self._levels[level].pop(self._prefix(vpn, level), None)
+
+    def flush(self) -> None:
+        """Drop all entries (full TLB-shootdown equivalent)."""
+        for entries in self._levels.values():
+            entries.clear()
+
+    def occupancy(self) -> List[int]:
+        """Number of live entries per level (leaf first, 4 levels shown)."""
+        return [len(self._levels[level]) for level in range(1, PT_LEVELS + 1)]

@@ -1,0 +1,36 @@
+"""PTEMagnet: the paper's primary contribution (§4).
+
+A reservation-based guest-OS physical allocator. On the first page fault
+into an aligned 8-page (32KB) virtual group, it takes a contiguous 8-frame
+chunk from the buddy allocator, maps only the faulting page, and records
+the chunk in the per-process Page Reservation Table (PaRT). Later faults
+in the group are served straight from the reservation, which guarantees
+that the group's eight host PTEs share one cache block -- restoring the
+leaf-level PT locality that colocation destroys.
+
+Components:
+
+* :mod:`repro.core.reservation` -- one reservation (base frame + 8-bit mask).
+* :mod:`repro.core.part` -- the PaRT: a per-process 4-level radix tree with
+  per-node locks.
+* :mod:`repro.core.allocator` -- the fault-path allocator.
+* :mod:`repro.core.reclaimer` -- the memory-pressure reclamation daemon.
+* :mod:`repro.core.policy` -- the cgroup-based enablement gate.
+"""
+
+from .allocator import FaultPathResult, PTEMagnetAllocator
+from .part import PageReservationTable, PartNode
+from .policy import EnablementPolicy
+from .reclaimer import ReclaimReport, ReservationReclaimer
+from .reservation import Reservation
+
+__all__ = [
+    "EnablementPolicy",
+    "FaultPathResult",
+    "PTEMagnetAllocator",
+    "PageReservationTable",
+    "PartNode",
+    "ReclaimReport",
+    "Reservation",
+    "ReservationReclaimer",
+]

@@ -1,0 +1,193 @@
+"""The PTEMagnet fault-path allocator (§4.2).
+
+On every page fault of a PTEMagnet-enabled process the kernel calls
+:meth:`PTEMagnetAllocator.fault`:
+
+* The faulting address is rounded to its 32KB group and PaRT is queried.
+* **Hit**: the already-reserved frame for the faulting slot is returned
+  immediately -- no buddy-allocator call. When the reservation becomes
+  full, its PaRT entry is deleted.
+* **Miss**: an aligned 8-frame chunk is taken from the buddy allocator
+  (order 3), split into individually-freeable frames, the faulting slot is
+  mapped, and the remaining seven frames stay reserved. If no order-3
+  block exists (fragmented free memory -- the §4.4 limitation), the
+  allocator falls back to a plain single-page allocation with no
+  reservation.
+
+Fork rule (§4.4): a child process may *consume* unallocated pages from its
+parent's reservations but may not create reservations in the parent's map;
+its own new memory gets reservations in its own PaRT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import OutOfMemoryError
+from ..mem.buddy import BuddyAllocator
+from ..mem.physical import FrameState
+from ..units import RESERVATION_ORDER
+from .part import PageReservationTable
+from .reservation import Reservation
+
+
+@dataclass
+class AllocatorStats:
+    """Activity counters for the PTEMagnet fault path."""
+
+    faults: int = 0
+    reservation_hits: int = 0
+    reservations_created: int = 0
+    reservations_completed: int = 0
+    fallback_single_pages: int = 0
+    parent_reservation_hits: int = 0
+
+
+@dataclass
+class FaultPathResult:
+    """What the fault path produced for one page fault."""
+
+    #: The guest physical frame now backing the faulting page.
+    frame: int
+    #: True if the frame came from an existing reservation (fast path).
+    from_reservation: bool
+    #: True if a new reservation was created on this fault.
+    created_reservation: bool
+    #: True if the allocator fell back to a plain single-page allocation.
+    fallback: bool
+
+
+class PTEMagnetAllocator:
+    """Reservation-based physical allocator for one guest kernel.
+
+    Parameters
+    ----------
+    buddy:
+        The guest kernel's buddy allocator.
+    reservation_order:
+        log2 of the reservation size in pages. The paper's design point is
+        :data:`~repro.units.RESERVATION_ORDER` (3, i.e. 8 pages = exactly
+        one cache block of leaf PTEs); other values exist for the
+        reservation-granularity ablation.
+    """
+
+    def __init__(
+        self,
+        buddy: BuddyAllocator,
+        reservation_order: int = RESERVATION_ORDER,
+    ) -> None:
+        if not 0 < reservation_order <= 6:
+            raise ValueError("reservation_order must be in (0, 6]")
+        self.buddy = buddy
+        self.reservation_order = reservation_order
+        self.reservation_pages = 1 << reservation_order
+        self.stats = AllocatorStats()
+
+    def _group(self, vpn: int) -> int:
+        return vpn >> self.reservation_order
+
+    def _slot(self, vpn: int) -> int:
+        return vpn & (self.reservation_pages - 1)
+
+    def fault(
+        self,
+        part: PageReservationTable,
+        vpn: int,
+        owner: int,
+        parent_part: Optional[PageReservationTable] = None,
+    ) -> FaultPathResult:
+        """Serve a page fault at virtual page ``vpn``.
+
+        ``part`` is the faulting process' own PaRT; ``parent_part`` (if the
+        process was forked from a PTEMagnet-enabled parent) is checked
+        first per the §4.4 fork rule. Raises
+        :class:`~repro.errors.OutOfMemoryError` only when not even a single
+        page can be allocated.
+        """
+        self.stats.faults += 1
+        group = self._group(vpn)
+        slot = self._slot(vpn)
+
+        entry = part.lookup(group)
+        used_part = part
+        if entry is None and parent_part is not None:
+            entry = parent_part.lookup(group)
+            used_part = parent_part
+            if entry is not None:
+                self.stats.parent_reservation_hits += 1
+
+        if entry is not None and not entry.slot_mapped(slot):
+            frame = entry.map_slot(slot)
+            self.buddy.memory.set_state(frame, FrameState.USER, owner)
+            if entry.full:
+                used_part.remove(group)
+                self.stats.reservations_completed += 1
+            self.stats.reservation_hits += 1
+            return FaultPathResult(
+                frame=frame,
+                from_reservation=True,
+                created_reservation=False,
+                fallback=False,
+            )
+
+        # No usable reservation: try to create one. A child never creates
+        # reservations in the parent's map -- `part` is always its own.
+        try:
+            base = self.buddy.alloc(
+                self.reservation_order, owner=owner, state=FrameState.RESERVED
+            )
+        except OutOfMemoryError:
+            frame = self.buddy.alloc_frame(owner=owner, state=FrameState.USER)
+            self.stats.fallback_single_pages += 1
+            return FaultPathResult(
+                frame=frame,
+                from_reservation=False,
+                created_reservation=False,
+                fallback=True,
+            )
+        self.buddy.split_allocation(base)
+        reservation = Reservation(
+            group=group, base_frame=base, pages=self.reservation_pages
+        )
+        frame = reservation.map_slot(slot)
+        self.buddy.memory.set_state(frame, FrameState.USER, owner)
+        part.insert(reservation)
+        self.stats.reservations_created += 1
+        return FaultPathResult(
+            frame=frame,
+            from_reservation=False,
+            created_reservation=True,
+            fallback=False,
+        )
+
+    def free_page(
+        self, part: PageReservationTable, vpn: int, frame: int
+    ) -> bool:
+        """Handle the free of one mapped page of a PTEMagnet process.
+
+        If the page's group still has a live PaRT entry, the slot is
+        unmapped there; when the application has freed everything it had in
+        the group, the reservation is deleted and all eight frames return
+        to the buddy allocator (§4.3). Returns ``True`` if this call freed
+        the frame (caller must not free it again), ``False`` if the page
+        was outside any live reservation (caller frees it normally).
+        """
+        group = self._group(vpn)
+        entry = part.lookup(group)
+        if entry is None:
+            return False
+        slot = self._slot(vpn)
+        if not entry.slot_mapped(slot) or entry.frame_for_slot(slot) != frame:
+            # The group has a reservation, but this mapping predates it or
+            # was served by fallback; treat as a normal free.
+            return False
+        entry.unmap_slot(slot)
+        self.buddy.memory.set_state(frame, FrameState.RESERVED, None)
+        if entry.empty:
+            part.remove(group)
+            for reserved in range(
+                entry.base_frame, entry.base_frame + entry.pages
+            ):
+                self.buddy.free(reserved)
+        return True

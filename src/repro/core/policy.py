@@ -1,0 +1,39 @@
+"""Cgroup-based PTEMagnet enablement policy (§4.4).
+
+In a public cloud the orchestrator declares each container's maximum
+memory use via ``memory.limit_in_bytes``. The paper proposes enabling
+PTEMagnet only for processes whose declared limit exceeds a threshold --
+big-memory applications are the ones with heavy TLB pressure. (The paper
+also finds PTEMagnet never slows anything down, so enabling it for
+everyone is safe; a threshold of 0 models that.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnablementPolicy:
+    """Decides which processes get a PaRT.
+
+    Parameters
+    ----------
+    memory_limit_threshold_bytes:
+        Processes whose cgroup memory limit is at least this large get
+        PTEMagnet. ``0`` enables PTEMagnet unconditionally.
+    """
+
+    memory_limit_threshold_bytes: int = 0
+
+    def enabled_for(self, memory_limit_bytes: int) -> bool:
+        """True if a process with this cgroup limit should use PTEMagnet.
+
+        A limit of ``0`` means "unlimited", which the policy treats as a
+        big-memory process (no declared cap).
+        """
+        if self.memory_limit_threshold_bytes == 0:
+            return True
+        if memory_limit_bytes == 0:
+            return True
+        return memory_limit_bytes >= self.memory_limit_threshold_bytes

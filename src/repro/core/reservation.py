@@ -1,0 +1,161 @@
+"""A single PTEMagnet reservation.
+
+One reservation covers an aligned group of eight virtual pages and pins an
+aligned, contiguous group of eight guest physical frames for them (§4.2).
+The entry stores the base frame, an 8-bit occupancy mask of which slots
+have been mapped, and a lock -- exactly the leaf-node payload the paper
+describes for PaRT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..errors import ReservationError
+from ..units import RESERVATION_PAGES
+
+
+@dataclass
+class LockStats:
+    """Counts acquisitions of one modelled lock.
+
+    The simulator is single-threaded, so locks never block; the counters
+    exist to quantify how often each PaRT node lock would be taken, which
+    is the fine-grained-locking scalability argument of §4.2.
+    """
+
+    acquisitions: int = 0
+
+    def acquire(self) -> None:
+        self.acquisitions += 1
+
+
+@dataclass
+class Reservation:
+    """Reservation for one aligned page group.
+
+    Attributes
+    ----------
+    group:
+        The reservation-group index (``vpn >> log2(pages)``) this entry
+        covers.
+    base_frame:
+        First guest physical frame of the aligned contiguous chunk.
+    mask:
+        Bit ``i`` set means slot ``i`` (virtual page ``group*pages + i``)
+        is currently mapped to frame ``base_frame + i``.
+    pages:
+        Group size. The paper's design point is 8 (one cache block of
+        PTEs); other powers of two exist for the ablation study.
+    """
+
+    group: int
+    base_frame: int
+    mask: int = 0
+    lock: LockStats = field(default_factory=LockStats)
+    #: Total slots ever mapped, for §6.2-style accounting.
+    ever_mapped: int = 0
+    pages: int = RESERVATION_PAGES
+
+    #: Full mask for the default 8-page group (kept for callers that use
+    #: the paper's design point directly).
+    FULL_MASK = (1 << RESERVATION_PAGES) - 1
+
+    def __post_init__(self) -> None:
+        if self.pages <= 0 or self.pages & (self.pages - 1):
+            raise ReservationError(
+                f"reservation size {self.pages} must be a power of two"
+            )
+        if self.base_frame % self.pages:
+            raise ReservationError(
+                f"reservation base frame {self.base_frame} not aligned to "
+                f"{self.pages}"
+            )
+        if not 0 <= self.mask <= self.full_mask:
+            raise ReservationError(f"invalid mask {self.mask:#x}")
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.pages) - 1
+
+    # ------------------------------------------------------------------ #
+    # Slot state
+    # ------------------------------------------------------------------ #
+
+    def slot_mapped(self, slot: int) -> bool:
+        """True if slot ``slot`` (0..7) is currently mapped."""
+        self._check_slot(slot)
+        return bool(self.mask & (1 << slot))
+
+    def frame_for_slot(self, slot: int) -> int:
+        """Guest frame reserved for slot ``slot``."""
+        self._check_slot(slot)
+        return self.base_frame + slot
+
+    def map_slot(self, slot: int) -> int:
+        """Mark ``slot`` mapped; returns its frame.
+
+        Raises :class:`ReservationError` if the slot is already mapped --
+        the fault path must never double-map.
+        """
+        self._check_slot(slot)
+        bit = 1 << slot
+        if self.mask & bit:
+            raise ReservationError(f"slot {slot} of group {self.group} already mapped")
+        self.lock.acquire()
+        self.mask |= bit
+        self.ever_mapped += 1
+        return self.base_frame + slot
+
+    def unmap_slot(self, slot: int) -> int:
+        """Mark ``slot`` unmapped (page freed); returns its frame."""
+        self._check_slot(slot)
+        bit = 1 << slot
+        if not self.mask & bit:
+            raise ReservationError(f"slot {slot} of group {self.group} not mapped")
+        self.lock.acquire()
+        self.mask &= ~bit
+        return self.base_frame + slot
+
+    # ------------------------------------------------------------------ #
+    # Group state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def full(self) -> bool:
+        """All slots mapped: the PaRT entry can be deleted (§4.2)."""
+        return self.mask == self.full_mask
+
+    @property
+    def empty(self) -> bool:
+        """No slot mapped: the application freed everything it had (§4.3)."""
+        return self.mask == 0
+
+    @property
+    def mapped_count(self) -> int:
+        """Number of currently mapped slots."""
+        return bin(self.mask).count("1")
+
+    @property
+    def unmapped_count(self) -> int:
+        """Number of reserved-but-unmapped slots (the §6.2 overhead)."""
+        return self.pages - self.mapped_count
+
+    def mapped_slots(self) -> Iterator[int]:
+        """Yield the indices of mapped slots."""
+        for slot in range(self.pages):
+            if self.mask & (1 << slot):
+                yield slot
+
+    def unmapped_frames(self) -> List[int]:
+        """Frames reserved but not mapped (what the reclaimer releases)."""
+        return [
+            self.base_frame + slot
+            for slot in range(self.pages)
+            if not self.mask & (1 << slot)
+        ]
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.pages:
+            raise ReservationError(f"slot {slot} outside [0, {self.pages})")

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the PTEMagnet reproduction library.
+
+All library-specific failures derive from :class:`ReproError`, so callers
+can catch one base class. Subclasses map to the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class OutOfMemoryError(ReproError):
+    """A physical-memory allocation could not be satisfied.
+
+    Raised by the buddy allocator when no free block of the requested order
+    (or larger) exists, mirroring a failed ``alloc_pages()`` in Linux.
+    """
+
+
+class InvalidAddressError(ReproError):
+    """An address is outside the range managed by the component."""
+
+
+class SegmentationFault(ReproError):
+    """A process accessed a virtual address with no backing VMA.
+
+    Corresponds to the SIGSEGV a real OS would deliver.
+    """
+
+
+class ProtectionFault(ReproError):
+    """A process accessed a mapped address with insufficient permissions."""
+
+
+class AllocationError(ReproError):
+    """A virtual-memory request (mmap/brk) could not be satisfied."""
+
+
+class PageTableError(ReproError):
+    """Inconsistent page-table state (e.g. remapping a present PTE)."""
+
+
+class ReservationError(ReproError):
+    """Inconsistent PTEMagnet reservation state (PaRT invariant violated)."""
+
+
+class SimulationError(ReproError):
+    """The simulation driver was configured or advanced incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload model was configured with impossible parameters."""

@@ -1,0 +1,58 @@
+"""Experiment harnesses: one module per table/figure of the evaluation.
+
+Each module exposes a ``run_*`` function returning a structured result and
+a ``render_*`` function producing the paper-style text table/series. The
+benchmark suite under ``benchmarks/`` calls these and checks the
+qualitative reproduction targets listed in DESIGN.md.
+"""
+
+from .baselines import BaselineResult, render_baselines, run_baselines
+from .common import (
+    ColocationOutcome,
+    KernelComparison,
+    compare_kernels,
+    run_colocated,
+)
+from .figure5 import render_figure5, run_figure5
+from .figure6 import render_figure6, run_figure6
+from .figure7 import FIGURE7_CORUNNERS, render_figure7, run_figure7
+from .sec62 import render_sec62, run_adversarial_sec62, run_sec62
+from .sensitivity import (
+    SensitivityResult,
+    render_sensitivity,
+    sweep_dram_latency,
+    sweep_llc,
+)
+from .sec64 import render_sec64, run_sec64
+from .table1 import render_table1, run_table1
+from .table4 import render_table4, run_table4
+
+__all__ = [
+    "BaselineResult",
+    "ColocationOutcome",
+    "FIGURE7_CORUNNERS",
+    "KernelComparison",
+    "SensitivityResult",
+    "compare_kernels",
+    "render_baselines",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_sec62",
+    "render_sensitivity",
+    "render_sec64",
+    "render_table1",
+    "render_table4",
+    "run_adversarial_sec62",
+    "run_baselines",
+    "run_colocated",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_sec62",
+    "sweep_dram_latency",
+    "sweep_llc",
+    "run_sec64",
+    "run_table1",
+    "run_table4",
+]

@@ -1,0 +1,154 @@
+"""Shared experiment methodology.
+
+Encodes the paper's measurement procedure (§5, §6.1):
+
+1. Co-runners start first and churn memory (the VM has been busy before
+   the measured benchmark launches). Pre-churn runs in fast-forward --
+   only the buddy-allocator state matters, and fault order is identical.
+2. The benchmark starts; its allocation/initialisation phase interleaves
+   with co-runner faults, fragmenting guest physical memory.
+3. At the benchmark's COMPUTE phase boundary, full-fidelity simulation is
+   switched on, caches/TLBs warm up for a few scheduler turns, and the
+   measurement window opens. Co-runners either keep running (Figures 6/7,
+   Table 4) or are stopped (§3.3 / Table 1 methodology).
+4. The window closes when the benchmark finishes; counters are captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..config import PlatformConfig
+from ..metrics.counters import percent_change
+from ..sim.engine import Simulation, WorkloadRun
+from ..sim.results import RunResult
+from ..workloads.base import WorkloadPhase
+from ..workloads.registry import make_benchmark, make_corunner
+
+#: (co-runner name, scheduler weight) pairs. stress-ng gets extra weight
+#: because the paper runs it with 12 threads.
+CorunnerSpec = Sequence[Tuple[str, int]]
+
+#: Scheduler slice: 2 ops per turn per weight unit. Fine interleaving is
+#: what lets co-runner faults land between the benchmark's faults.
+OPS_PER_SLICE = 2
+#: Scheduler turns of co-runner-only churn before the benchmark starts.
+PRECHURN_TURNS = 1000
+#: Full-fidelity turns before the measurement window opens (cache/TLB warmup).
+WARMUP_TURNS = 50
+
+
+@dataclass
+class ColocationOutcome:
+    """Result of one measured colocation run."""
+
+    benchmark: RunResult
+    platform: PlatformConfig
+    simulation: Simulation
+
+    @property
+    def cycles(self) -> int:
+        return self.benchmark.counters.cycles
+
+
+def run_colocated(
+    platform: PlatformConfig,
+    benchmark_name: str,
+    corunners: CorunnerSpec = (),
+    seed: int = 0,
+    stop_corunners_at_compute: bool = False,
+    prechurn_turns: int = PRECHURN_TURNS,
+    warmup_turns: int = WARMUP_TURNS,
+) -> ColocationOutcome:
+    """Run one benchmark colocated with ``corunners`` and measure it."""
+    sim = Simulation(platform)
+    sim.scheduler.ops_per_slice = OPS_PER_SLICE
+    co_runs: List[WorkloadRun] = []
+    for name, weight in corunners:
+        run = sim.add_workload(make_corunner(name, seed), weight=weight)
+        run.fast_forward = True
+        co_runs.append(run)
+    for _ in range(prechurn_turns if co_runs else 0):
+        sim.turn()
+    bench = sim.add_workload(make_benchmark(benchmark_name, seed))
+    bench.fast_forward = True
+    sim.run_until_phase(bench, WorkloadPhase.COMPUTE)
+    bench.fast_forward = False
+    for run in co_runs:
+        if stop_corunners_at_compute:
+            sim.stop(run)
+        else:
+            run.fast_forward = False
+    for _ in range(warmup_turns):
+        sim.turn()
+    bench.start_measurement()
+    sim.run_until_finished(bench)
+    return ColocationOutcome(
+        benchmark=sim.result_for(bench), platform=platform, simulation=sim
+    )
+
+
+@dataclass
+class KernelComparison:
+    """Paired default-kernel vs PTEMagnet measurement of one scenario."""
+
+    benchmark_name: str
+    default: ColocationOutcome
+    ptemagnet: ColocationOutcome
+
+    @property
+    def improvement_percent(self) -> float:
+        """Execution-time improvement of PTEMagnet over the default kernel
+        (positive = PTEMagnet faster), the paper's Figures 6/7 y-axis."""
+        before = self.default.cycles
+        after = self.ptemagnet.cycles
+        if before == 0:
+            return 0.0
+        return (before - after) / before * 100.0
+
+    def metric_change(self, metric: str) -> float:
+        """Percent change of ``metric`` from default to PTEMagnet."""
+        return percent_change(
+            getattr(self.default.benchmark.counters, metric),
+            getattr(self.ptemagnet.benchmark.counters, metric),
+        )
+
+
+def compare_kernels(
+    platform: PlatformConfig,
+    benchmark_name: str,
+    corunners: CorunnerSpec = (),
+    seed: int = 0,
+    stop_corunners_at_compute: bool = False,
+) -> KernelComparison:
+    """Run the same scenario under both kernels (same seed, paired runs)."""
+    default = run_colocated(
+        platform.with_ptemagnet(False),
+        benchmark_name,
+        corunners,
+        seed,
+        stop_corunners_at_compute,
+    )
+    ptemagnet = run_colocated(
+        platform.with_ptemagnet(True),
+        benchmark_name,
+        corunners,
+        seed,
+        stop_corunners_at_compute,
+    )
+    return KernelComparison(benchmark_name, default, ptemagnet)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of improvement factors given as percentages.
+
+    Matches the paper's "Geomean" bar: converts +x% improvements into
+    speedup factors, takes the geometric mean, converts back.
+    """
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= 1.0 + value / 100.0
+    return (product ** (1.0 / len(values)) - 1.0) * 100.0

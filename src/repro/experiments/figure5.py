@@ -1,0 +1,64 @@
+"""Figure 5 (§6.1): host-PT fragmentation with and without PTEMagnet.
+
+Each benchmark runs colocated with objdet (the highest-fault-rate
+co-runner) under both kernels; the y-value is the §3.2 fragmentation
+metric -- average hPTE cache blocks per gPTE cache block. The paper shows
+PTEMagnet pinning the metric at ~1 for every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..config import PlatformConfig
+from ..metrics.report import Table
+from ..workloads.registry import BENCHMARKS
+from .common import compare_kernels
+
+#: objdet gets moderate extra weight: it is an 8-thread co-runner.
+OBJDET_WEIGHT = 3
+
+
+@dataclass
+class Figure5Result:
+    """Fragmentation per benchmark under both kernels."""
+
+    #: benchmark -> (default fragmentation, PTEMagnet fragmentation)
+    fragmentation: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def ptemagnet_values(self) -> List[float]:
+        return [after for _, after in self.fragmentation.values()]
+
+    def default_values(self) -> List[float]:
+        return [before for before, _ in self.fragmentation.values()]
+
+
+def run_figure5(
+    platform: PlatformConfig = None,
+    benchmarks: Sequence[str] = tuple(BENCHMARKS),
+    seed: int = 0,
+) -> Figure5Result:
+    """Measure host-PT fragmentation for every benchmark + objdet."""
+    platform = platform or PlatformConfig()
+    result = Figure5Result()
+    for name in benchmarks:
+        comparison = compare_kernels(
+            platform, name, corunners=[("objdet", OBJDET_WEIGHT)], seed=seed
+        )
+        result.fragmentation[name] = (
+            comparison.default.benchmark.counters.host_pt_fragmentation,
+            comparison.ptemagnet.benchmark.counters.host_pt_fragmentation,
+        )
+    return result
+
+
+def render_figure5(result: Figure5Result) -> str:
+    """Paper-style rendering of Figure 5 (lower is better)."""
+    table = Table(
+        ["Benchmark", "Default kernel", "PTEMagnet"],
+        title="Figure 5: host PT fragmentation in colocation with objdet",
+    )
+    for name, (before, after) in result.fragmentation.items():
+        table.add_row(name, f"{before:.2f}", f"{after:.2f}")
+    return table.render()

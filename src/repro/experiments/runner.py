@@ -1,0 +1,176 @@
+"""Command-line experiment runner.
+
+Regenerates any table or figure of the paper's evaluation from the shell:
+
+    python -m repro.experiments.runner --experiment table1
+    python -m repro.experiments.runner --experiment figure6 --seed 1
+    python -m repro.experiments.runner --experiment all --json results.json
+
+Each experiment prints the paper-style rendering; ``--json`` additionally
+dumps the structured numbers for downstream processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from ..config import PlatformConfig
+from ..metrics.report import Table
+from ..workloads.registry import table3_rows
+from .baselines import render_baselines, run_baselines
+from .figure5 import render_figure5, run_figure5
+from .figure6 import render_figure6, run_figure6
+from .figure7 import render_figure7, run_figure7
+from .sec62 import render_sec62, run_adversarial_sec62, run_sec62
+from .sec64 import render_sec64, run_sec64
+from .table1 import render_table1, run_table1
+from .table4 import render_table4, run_table4
+
+
+def _run_table1(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_table1(platform, seed)
+    payload = {name: change for name, change in result.rows()}
+    before, after = result.fragmentation_before_after
+    payload["fragmentation_before"] = before
+    payload["fragmentation_after"] = after
+    return render_table1(result), payload
+
+
+def _run_table2(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    table = Table(["Parameter", "Value"], title="Table 2: simulated platform")
+    rows = platform.table2_rows()
+    for name, value in rows:
+        table.add_row(name, value)
+    return table.render(), dict(rows)
+
+
+def _run_table3(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    table = Table(
+        ["Role", "Name", "Description"],
+        title="Table 3: evaluated benchmarks and co-runners",
+    )
+    rows = table3_rows()
+    for role, name, description in rows:
+        table.add_row(role, name, description)
+    payload = {name: {"role": role, "description": desc} for role, name, desc in rows}
+    return table.render(), payload
+
+
+def _run_table4(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_table4(platform, seed)
+    return render_table4(result), {name: change for name, change in result.rows()}
+
+
+def _run_figure5(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_figure5(platform, seed=seed)
+    return render_figure5(result), {
+        name: {"default": before, "ptemagnet": after}
+        for name, (before, after) in result.fragmentation.items()
+    }
+
+
+def _run_figure6(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_figure6(platform, seed=seed)
+    return render_figure6(result), {
+        "improvements": result.improvements,
+        "low_pressure": result.low_pressure,
+        "geomean": result.geomean,
+    }
+
+
+def _run_figure7(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_figure7(platform, seed=seed)
+    return render_figure7(result), {
+        "improvements": result.improvements,
+        "geomean": result.geomean,
+    }
+
+
+def _run_sec62(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_sec62(platform, seed=seed)
+    adversarial = run_adversarial_sec62(platform, seed=seed)
+    return render_sec62(result, adversarial), {
+        "peaks_percent": result.peaks(),
+        "adversarial_ratio": adversarial,
+    }
+
+
+def _run_sec64(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_sec64(platform, seed=seed)
+    return render_sec64(result), {
+        "default_cycles": result.default_cycles,
+        "ptemagnet_cycles": result.ptemagnet_cycles,
+        "change_percent": result.change_percent,
+    }
+
+
+def _run_baselines(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+    result = run_baselines(platform, "pagerank", seed)
+    payload = {
+        mode: {
+            "cycles": row.cycles,
+            "walk_cycles": row.walk_cycles,
+            "host_pt_fragmentation": row.host_pt_fragmentation,
+            "improvement_percent": result.improvement_over_default(mode),
+        }
+        for mode, row in result.rows.items()
+    }
+    return render_baselines(result), payload
+
+
+EXPERIMENTS: Dict[str, Callable[[PlatformConfig, int], Tuple[str, dict]]] = {
+    "baselines": _run_baselines,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "sec62": _run_sec62,
+    "sec64": _run_sec64,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        default="all",
+        help="which experiment to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write structured results as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    platform = PlatformConfig()
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    payloads = {}
+    for name in names:
+        started = time.time()
+        text, payload = EXPERIMENTS[name](platform, args.seed)
+        elapsed = time.time() - started
+        print(text)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+        payloads[name] = payload
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payloads, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

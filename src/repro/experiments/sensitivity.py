@@ -1,0 +1,100 @@
+"""Hardware-sensitivity sweeps (artifact appendix A.3.2).
+
+The paper's artifact appendix predicts how PTEMagnet's improvement moves
+with the processor:
+
+* "a larger improvement can be achieved on a processor with a larger LLC
+  ... more LLC capacity increases the chances of a cache line with a
+  page table staying in LLC, and hence boosts the speedup";
+* a deeper DRAM (higher memory latency) makes every PT miss dearer, also
+  boosting the speedup.
+
+These sweeps vary one machine parameter at a time around the default
+platform and re-measure the paired improvement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..config import CacheConfig, PlatformConfig
+from ..metrics.report import Table
+from ..units import KB
+from .common import compare_kernels
+from .figure5 import OBJDET_WEIGHT
+
+#: LLC capacities swept (KB).
+LLC_SWEEP_KB: Tuple[int, ...] = (256, 512, 1024)
+#: DRAM latencies swept (cycles).
+DRAM_SWEEP: Tuple[int, ...] = (120, 200, 320)
+
+
+@dataclass
+class SensitivityResult:
+    """Improvement per swept value of one parameter."""
+
+    parameter: str
+    #: swept value -> (improvement %, default-kernel hPT-in-memory count)
+    points: Dict[int, Tuple[float, int]]
+
+
+def sweep_llc(
+    platform: PlatformConfig = None,
+    benchmark_name: str = "pagerank",
+    sizes_kb: Sequence[int] = LLC_SWEEP_KB,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Improvement vs LLC capacity."""
+    platform = platform or PlatformConfig()
+    points = {}
+    for size_kb in sizes_kb:
+        machine = dataclasses.replace(
+            platform.machine,
+            llc=CacheConfig("LLC", size_kb * KB, 16, platform.machine.llc.latency_cycles),
+        )
+        candidate = dataclasses.replace(platform, machine=machine)
+        comparison = compare_kernels(
+            candidate, benchmark_name, [("objdet", OBJDET_WEIGHT)], seed=seed
+        )
+        points[size_kb] = (
+            comparison.improvement_percent,
+            comparison.default.benchmark.counters.hpt_memory_accesses,
+        )
+    return SensitivityResult("LLC size (KB)", points)
+
+
+def sweep_dram_latency(
+    platform: PlatformConfig = None,
+    benchmark_name: str = "pagerank",
+    latencies: Sequence[int] = DRAM_SWEEP,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Improvement vs DRAM latency."""
+    platform = platform or PlatformConfig()
+    points = {}
+    for latency in latencies:
+        machine = dataclasses.replace(
+            platform.machine, memory_latency_cycles=latency
+        )
+        candidate = dataclasses.replace(platform, machine=machine)
+        comparison = compare_kernels(
+            candidate, benchmark_name, [("objdet", OBJDET_WEIGHT)], seed=seed
+        )
+        points[latency] = (
+            comparison.improvement_percent,
+            comparison.default.benchmark.counters.hpt_memory_accesses,
+        )
+    return SensitivityResult("DRAM latency (cycles)", points)
+
+
+def render_sensitivity(result: SensitivityResult) -> str:
+    """Render one sweep as a table."""
+    table = Table(
+        [result.parameter, "PTEMagnet improvement", "hPT mem accesses (default)"],
+        title=f"Sensitivity: improvement vs {result.parameter}",
+    )
+    for value, (improvement, hpt_mem) in sorted(result.points.items()):
+        table.add_row(value, f"{improvement:+.2f}%", hpt_mem)
+    return table.render()

@@ -1,0 +1,111 @@
+"""Table 1 (§3.3): the cost of host-PT fragmentation, without PTEMagnet.
+
+Methodology, as in the paper: pagerank runs inside the VM twice on the
+*default* kernel -- once standalone and once after sharing the VM with a
+churning stress-ng co-runner during its allocation phase. The co-runner is
+stopped once pagerank finishes initialising, so the measurement window has
+no contention for shared resources; the only difference between the runs
+is the fragmentation the co-runner left behind in the host PT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import PlatformConfig
+from ..metrics.counters import percent_change
+from ..metrics.report import Table, format_percent
+from .common import ColocationOutcome, run_colocated
+
+#: stress-ng scheduler weight (the paper runs it with 12 threads).
+STRESS_WEIGHT = 4
+
+
+@dataclass
+class Table1Result:
+    """Standalone vs post-colocation measurements of pagerank."""
+
+    standalone: ColocationOutcome
+    colocated: ColocationOutcome
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """(metric name, percent change) rows in the paper's order."""
+        before = self.standalone.benchmark.counters
+        after = self.colocated.benchmark.counters
+        return [
+            ("Execution time", percent_change(before.cycles, after.cycles)),
+            (
+                "Cache misses (data)",
+                percent_change(
+                    before.data_memory_accesses, after.data_memory_accesses
+                ),
+            ),
+            ("TLB misses", percent_change(before.tlb_misses, after.tlb_misses)),
+            (
+                "Page walk cycles",
+                percent_change(before.walk_cycles, after.walk_cycles),
+            ),
+            (
+                "Cycles traversing host PT",
+                percent_change(before.host_walk_cycles, after.host_walk_cycles),
+            ),
+            (
+                "Guest PT accesses served by memory",
+                percent_change(
+                    before.gpt_memory_accesses, after.gpt_memory_accesses
+                ),
+            ),
+            (
+                "Host PT accesses served by memory",
+                percent_change(
+                    before.hpt_memory_accesses, after.hpt_memory_accesses
+                ),
+            ),
+            (
+                "Host PT fragmentation",
+                percent_change(
+                    before.host_pt_fragmentation, after.host_pt_fragmentation
+                ),
+            ),
+        ]
+
+    @property
+    def fragmentation_before_after(self) -> Tuple[float, float]:
+        return (
+            self.standalone.benchmark.counters.host_pt_fragmentation,
+            self.colocated.benchmark.counters.host_pt_fragmentation,
+        )
+
+
+def run_table1(
+    platform: PlatformConfig = None, seed: int = 0
+) -> Table1Result:
+    """Reproduce Table 1 on the default (non-PTEMagnet) kernel."""
+    platform = (platform or PlatformConfig()).with_ptemagnet(False)
+    standalone = run_colocated(platform, "pagerank", corunners=(), seed=seed)
+    colocated = run_colocated(
+        platform,
+        "pagerank",
+        corunners=[("stress-ng", STRESS_WEIGHT)],
+        seed=seed,
+        stop_corunners_at_compute=True,
+    )
+    return Table1Result(standalone, colocated)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Paper-style rendering of Table 1."""
+    table = Table(
+        ["Metric", "Change", "Paper"],
+        title="Table 1: pagerank colocated with stress-ng vs standalone",
+    )
+    paper = ["+11%", "<1%", "<1%", "+61%", "+117%", "+3%", "+283%", "+242%"]
+    for (name, change), reference in zip(result.rows(), paper):
+        table.add_row(name, format_percent(change), reference)
+    before, after = result.fragmentation_before_after
+    footer = (
+        f"\nHost PT fragmentation metric: {before:.2f} standalone -> "
+        f"{after:.2f} colocated (paper: 2.8 -> 6.8)"
+    )
+    return table.render() + footer

@@ -1,0 +1,20 @@
+"""Physical-memory substrate: frame bookkeeping and the buddy allocator.
+
+This package models the part of a Linux kernel that PTEMagnet interacts
+with: a flat array of physical page frames (:mod:`repro.mem.physical`)
+managed by a binary buddy allocator (:mod:`repro.mem.buddy`), plus
+fragmentation statistics (:mod:`repro.mem.stats`).
+"""
+
+from .buddy import BuddyAllocator, BuddyStats
+from .physical import FrameState, PhysicalMemory
+from .stats import free_list_histogram, unusable_free_index
+
+__all__ = [
+    "BuddyAllocator",
+    "BuddyStats",
+    "FrameState",
+    "PhysicalMemory",
+    "free_list_histogram",
+    "unusable_free_index",
+]

@@ -1,0 +1,47 @@
+"""Fragmentation statistics over buddy-allocator state.
+
+These are memory-side fragmentation measures (how broken-up the *free*
+space is), complementary to the paper's host-PT fragmentation metric in
+:mod:`repro.metrics.fragmentation`, which measures how scattered the
+*allocated* frames of an application are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .buddy import MAX_ORDER, BuddyAllocator
+
+
+def free_list_histogram(allocator: BuddyAllocator) -> Dict[int, int]:
+    """Free frames available at each order.
+
+    Returns a mapping ``order -> free frames held in blocks of that order``.
+    A healthy, unfragmented allocator concentrates frames at high orders; a
+    churned allocator's histogram skews toward order 0.
+    """
+    snapshot = allocator.free_list_snapshot()
+    return {order: count << order for order, count in snapshot.items()}
+
+
+def unusable_free_index(allocator: BuddyAllocator, order: int) -> float:
+    """Linux's "unusable free space index" for a target ``order``.
+
+    The fraction of free memory that cannot satisfy an allocation of
+    ``2**order`` contiguous frames: 0.0 means every free frame sits in a
+    sufficiently large block, 1.0 means no request of that order can be
+    served. This is the standard kernel measure (``extfrag_index`` family)
+    for how hostile memory is to contiguity requests -- e.g. PTEMagnet's
+    order-3 reservations.
+    """
+    if not 0 <= order <= MAX_ORDER:
+        raise ValueError(f"order must be in [0, {MAX_ORDER}]")
+    total_free = allocator.free_frames
+    if total_free == 0:
+        return 1.0
+    usable = 0
+    snapshot = allocator.free_list_snapshot()
+    for block_order, count in snapshot.items():
+        if block_order >= order:
+            usable += count << block_order
+    return (total_free - usable) / total_free

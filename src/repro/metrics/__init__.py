@@ -1,0 +1,22 @@
+"""Measurement: perf-style counters, the host-PT fragmentation metric, and
+report formatting used by the experiment harnesses."""
+
+from .counters import MetricDelta, PerfCounters, percent_change
+from .fragmentation import (
+    fragmented_group_fraction,
+    group_block_counts,
+    host_pt_fragmentation,
+)
+from .report import Table, format_percent, render_series
+
+__all__ = [
+    "MetricDelta",
+    "PerfCounters",
+    "Table",
+    "format_percent",
+    "fragmented_group_fraction",
+    "group_block_counts",
+    "host_pt_fragmentation",
+    "percent_change",
+    "render_series",
+]

@@ -1,0 +1,76 @@
+"""Plain-text report rendering for experiment output.
+
+The experiment harnesses print the same rows/series the paper reports;
+these helpers render them as aligned fixed-width tables so benchmark
+output is directly comparable to the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Render a percentage the way the paper's tables do (+11%, -66%)."""
+    if value == float("inf"):
+        return "+inf%"
+    sign = "+" if signed and value >= 0 else ""
+    return f"{sign}{value:.1f}%"
+
+
+class Table:
+    """Minimal fixed-width table renderer."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are str()-ed."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(row)}"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Return the aligned table as a string."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            header.ljust(widths[i]) for i, header in enumerate(self.headers)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def render_series(
+    title: str, points: Iterable[Tuple[str, float]], unit: str = "%"
+) -> str:
+    """Render a figure-style data series as labelled rows with a bar.
+
+    Each point is ``(label, value)``; a crude ASCII bar makes relative
+    magnitudes visible, which is all a figure reproduction needs.
+    """
+    points = list(points)
+    lines = [title]
+    if not points:
+        return title + "\n(no data)"
+    peak = max(abs(value) for _, value in points) or 1.0
+    label_width = max(len(label) for label, _ in points)
+    for label, value in points:
+        bar = "#" * max(0, round(abs(value) / peak * 40))
+        lines.append(f"{label.ljust(label_width)}  {value:7.2f}{unit}  {bar}")
+    return "\n".join(lines)

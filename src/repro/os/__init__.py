@@ -1,0 +1,25 @@
+"""Guest operating-system model.
+
+Implements the Linux memory-management behaviour the paper builds on:
+eager virtual-address allocation via mmap/brk (:mod:`repro.os.vma`), lazy
+page-by-page physical allocation on page faults (:mod:`repro.os.fault`),
+fork with copy-on-write (:mod:`repro.os.fork`), and memory-pressure
+reclaim (:mod:`repro.os.reclaim`) -- all assembled by
+:class:`repro.os.kernel.GuestKernel`, which hosts either the default
+allocator path or PTEMagnet (:mod:`repro.core`).
+"""
+
+from .fault import FaultOutcome
+from .kernel import GuestKernel, KernelStats
+from .process import Process
+from .vma import AddressSpace, Protection, Vma
+
+__all__ = [
+    "AddressSpace",
+    "FaultOutcome",
+    "GuestKernel",
+    "KernelStats",
+    "Process",
+    "Protection",
+    "Vma",
+]

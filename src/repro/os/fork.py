@@ -1,0 +1,49 @@
+"""fork() with copy-on-write sharing.
+
+Implements the semantics §4.4 relies on: the child receives a copy of the
+parent's VMAs; every mapped page is shared read-only with the COW bit set
+in both page tables; reservations are *not* copied -- the child's fault
+path may consume unallocated pages from the parent's reservations but
+creates new reservations only in its own PaRT.
+"""
+
+from __future__ import annotations
+
+from ..core.part import PageReservationTable
+from ..pagetable.pte import PteFlags, pte_flags, pte_frame
+from .kernel import GuestKernel
+from .process import Process
+
+
+def fork(kernel: GuestKernel, parent: Process) -> Process:
+    """Fork ``parent`` inside ``kernel``; returns the child process.
+
+    All currently mapped parent pages become shared COW pages. The paper
+    observes that <0.1% of pages are ever COW-broken in practice, so most
+    shared pages stay contiguous and keep benefiting from PTEMagnet's
+    grouped hPTEs.
+    """
+    # THP mappings are split before sharing (simplification of Linux's
+    # huge-page COW; keeps refcounting per-4KB).
+    for base_vpn, _frame in list(parent.page_table.huge_mappings()):
+        kernel.split_huge(parent, base_vpn)
+
+    child = kernel.create_process(
+        f"{parent.name}-child", parent.memory_limit_bytes
+    )
+    child.address_space = parent.address_space.clone()
+    child.parent = parent
+    parent.children.append(child)
+    if child.part is None and parent.part is not None:
+        # The child of a PTEMagnet process is PTEMagnet-managed as well.
+        child.part = PageReservationTable()
+
+    for vpn, pte in list(parent.page_table.iter_mappings()):
+        frame = pte_frame(pte)
+        flags = pte_flags(pte)
+        if not flags & PteFlags.COW:
+            parent.page_table.update(vpn, frame, flags | PteFlags.COW)
+            kernel._notify_unmap(parent.pid, vpn)
+        child.page_table.map(vpn, frame, PteFlags.PRESENT | PteFlags.COW)
+        kernel._refcount[frame] = kernel._refcount.get(frame, 1) + 1
+    return child

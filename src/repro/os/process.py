@@ -1,0 +1,66 @@
+"""Guest process model.
+
+A process owns a virtual address space, a guest page table, and -- when
+the kernel runs PTEMagnet and the cgroup policy enables it -- a Page
+Reservation Table (PaRT). Fork relationships are kept so the PTEMagnet
+fork rules of §4.4 (children may consume, but not create, reservations in
+the parent's map) can be enforced.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..pagetable.radix import PageTable
+from .vma import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from ..core.part import PageReservationTable
+
+
+class Process:
+    """One guest process.
+
+    Parameters
+    ----------
+    pid:
+        Process id (unique within the guest kernel).
+    name:
+        Human-readable label (workload name).
+    page_table:
+        The process' guest page table.
+    memory_limit_bytes:
+        The cgroup ``memory.limit_in_bytes`` declared for this process;
+        the PTEMagnet enablement policy (§4.4) compares it to a threshold.
+        ``0`` means unlimited.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        page_table: PageTable,
+        memory_limit_bytes: int = 0,
+    ) -> None:
+        self.pid = pid
+        self.name = name
+        self.address_space = AddressSpace()
+        self.page_table = page_table
+        self.memory_limit_bytes = memory_limit_bytes
+        #: PaRT; ``None`` when PTEMagnet is off or gated out for this process.
+        self.part: Optional["PageReservationTable"] = None
+        self.parent: Optional["Process"] = None
+        self.children: List["Process"] = []
+        self.alive = True
+        #: Pages faulted in over the process lifetime.
+        self.faults = 0
+        #: Faults served from an existing reservation (PTEMagnet fast path).
+        self.reservation_hits = 0
+
+    @property
+    def rss_pages(self) -> int:
+        """Resident set size: pages currently mapped in the guest PT."""
+        return self.page_table.mapped_pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(pid={self.pid}, name={self.name!r}, rss={self.rss_pages})"

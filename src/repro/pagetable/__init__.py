@@ -1,0 +1,23 @@
+"""Radix page tables and the 1D page walker.
+
+Models x86-64 4-level page tables exactly as the paper describes (§2.5):
+each node is one physical frame holding 512 8-byte entries; translations
+for 4KB pages live at the leaf level; a page walk is a serialized pointer
+chase from the root to the leaf.
+"""
+
+from .pte import PteFlags, make_pte, pte_flags, pte_frame, pte_present
+from .radix import PageTable, PageTableNode
+from .walker import PageWalker, WalkResult
+
+__all__ = [
+    "PageTable",
+    "PageTableNode",
+    "PageWalker",
+    "PteFlags",
+    "WalkResult",
+    "make_pte",
+    "pte_flags",
+    "pte_frame",
+    "pte_present",
+]

@@ -1,0 +1,384 @@
+"""Radix page tables backed by allocator-provided frames.
+
+Every node of the tree occupies one physical frame obtained from the
+owning kernel's buddy allocator, so the *physical address of each PTE* is
+well defined: ``node_frame * 4096 + index * 8``. The page walker uses
+those addresses to drive the cache hierarchy -- which is the entire point
+of the paper: whether consecutive walks touch the same PTE cache blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import PageTableError
+from ..units import (
+    BITS_PER_LEVEL,
+    PT_LEVELS,
+    PTES_PER_NODE,
+    pt_indices,
+    pt_indices_for,
+)
+from .pte import PTE_EMPTY, PteFlags, make_pte, pte_frame, pte_present
+
+
+class PageTableNode:
+    """One radix-tree node: 512 slots in a single physical frame.
+
+    ``level`` runs from :data:`~repro.units.PT_LEVELS` (root, PGD) down to 1
+    (leaf, holding actual translations). Interior slots hold child nodes;
+    leaf slots hold encoded PTE integers.
+    """
+
+    __slots__ = ("frame", "level", "children", "entries")
+
+    def __init__(self, frame: int, level: int) -> None:
+        self.frame = frame
+        self.level = level
+        self.children: Dict[int, "PageTableNode"] = {}
+        self.entries: Dict[int, int] = {}
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 1
+
+    @property
+    def live_slots(self) -> int:
+        """Number of populated slots in this node."""
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+
+class PageTable:
+    """A per-process radix page table (4-level by default, la57-capable).
+
+    Parameters
+    ----------
+    frame_allocator:
+        Zero-argument callable returning a fresh physical frame for a page-
+        table node (typically the owning kernel's buddy allocator wrapped to
+        tag frames as :class:`~repro.mem.physical.FrameState.PAGE_TABLE`).
+    frame_releaser:
+        Callable accepting a frame number, invoked when a node is freed.
+    levels:
+        Radix depth; 4 on today's x86-64, 5 for the la57 extension the
+        paper mentions Linux migrating toward (§2.5).
+    """
+
+    def __init__(
+        self,
+        frame_allocator: Callable[[], int],
+        frame_releaser: Optional[Callable[[int], None]] = None,
+        levels: int = PT_LEVELS,
+    ) -> None:
+        if not 2 <= levels <= 6:
+            raise PageTableError(f"unsupported page-table depth {levels}")
+        self.levels = levels
+        self._alloc_frame = frame_allocator
+        self._release_frame = frame_releaser or (lambda frame: None)
+        self.root = PageTableNode(self._alloc_frame(), levels)
+        self.mapped_pages = 0
+        self.node_count = 1
+
+    def _indices(self, vpn: int):
+        if self.levels == PT_LEVELS:
+            return pt_indices(vpn)
+        return pt_indices_for(vpn, self.levels)
+
+    #: Pages covered by one level-2 (2MB) huge mapping.
+    HUGE_PAGES = PTES_PER_NODE
+
+    # ------------------------------------------------------------------ #
+    # Mapping
+    # ------------------------------------------------------------------ #
+
+    def map(self, vpn: int, pfn: int, flags: PteFlags = PteFlags.PRESENT) -> None:
+        """Install a translation ``vpn -> pfn``; creates interior nodes.
+
+        Raises :class:`PageTableError` if ``vpn`` is already mapped (a real
+        kernel would BUG on double-mapping without an unmap in between).
+        """
+        indices = self._indices(vpn)
+        node = self.root
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if child is None:
+                child = PageTableNode(self._alloc_frame(), node.level - 1)
+                node.children[index] = child
+                self.node_count += 1
+            node = child
+        leaf_index = indices[-1]
+        if pte_present(node.entries.get(leaf_index, PTE_EMPTY)):
+            raise PageTableError(f"vpn {vpn:#x} already mapped")
+        node.entries[leaf_index] = make_pte(pfn, flags | PteFlags.PRESENT)
+        self.mapped_pages += 1
+
+    def map_huge(self, vpn: int, pfn: int) -> None:
+        """Install a 2MB huge mapping at level 2 (THP baseline support).
+
+        ``vpn`` and ``pfn`` must be aligned to :attr:`HUGE_PAGES` (512).
+        The entry lives in the level-2 node with the HUGE bit set, exactly
+        as x86's PS bit works; no level-1 node is created.
+        """
+        if vpn % self.HUGE_PAGES or pfn % self.HUGE_PAGES:
+            raise PageTableError("huge mappings must be 512-page aligned")
+        indices = self._indices(vpn)
+        node = self.root
+        for index in indices[:-2]:
+            child = node.children.get(index)
+            if child is None:
+                child = PageTableNode(self._alloc_frame(), node.level - 1)
+                node.children[index] = child
+                self.node_count += 1
+            node = child
+        huge_index = indices[-2]
+        if huge_index in node.children or pte_present(
+            node.entries.get(huge_index, PTE_EMPTY)
+        ):
+            raise PageTableError(f"vpn {vpn:#x} already mapped at level 2")
+        node.entries[huge_index] = make_pte(
+            pfn, PteFlags.PRESENT | PteFlags.HUGE
+        )
+        self.mapped_pages += self.HUGE_PAGES
+
+    def unmap_huge(self, vpn: int) -> int:
+        """Remove the huge mapping covering ``vpn``; returns its base frame."""
+        indices = self._indices(vpn)
+        path: List[Tuple[PageTableNode, int]] = []
+        node = self.root
+        for index in indices[:-2]:
+            child = node.children.get(index)
+            if child is None:
+                raise PageTableError(f"vpn {vpn:#x} has no huge mapping")
+            path.append((node, index))
+            node = child
+        huge_index = indices[-2]
+        pte = node.entries.pop(huge_index, PTE_EMPTY)
+        if not pte_present(pte) or not pte & PteFlags.HUGE:
+            raise PageTableError(f"vpn {vpn:#x} has no huge mapping")
+        self.mapped_pages -= self.HUGE_PAGES
+        for parent, index in reversed(path):
+            child = parent.children[index]
+            if child.live_slots:
+                break
+            del parent.children[index]
+            self._release_frame(child.frame)
+            self.node_count -= 1
+        return pte_frame(pte)
+
+    def huge_entry_for(self, vpn: int) -> Optional[int]:
+        """Return the huge PTE covering ``vpn``, or ``None``."""
+        indices = self._indices(vpn)
+        node = self.root
+        for index in indices[:-2]:
+            child = node.children.get(index)
+            if child is None:
+                return None
+            node = child
+        pte = node.entries.get(indices[-2], PTE_EMPTY)
+        if pte_present(pte) and pte & PteFlags.HUGE:
+            return pte
+        return None
+
+    def unmap(self, vpn: int) -> int:
+        """Remove the translation for ``vpn``; returns the old frame.
+
+        Empty leaf/interior nodes are freed and their frames released,
+        mirroring Linux's page-table reclaim on ``munmap``.
+        """
+        indices = self._indices(vpn)
+        path: List[Tuple[PageTableNode, int]] = []
+        node = self.root
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if child is None:
+                raise PageTableError(f"vpn {vpn:#x} not mapped")
+            path.append((node, index))
+            node = child
+        leaf_index = indices[-1]
+        pte = node.entries.pop(leaf_index, PTE_EMPTY)
+        if not pte_present(pte):
+            raise PageTableError(f"vpn {vpn:#x} not mapped")
+        self.mapped_pages -= 1
+        # Prune now-empty nodes bottom-up.
+        for parent, index in reversed(path):
+            child = parent.children[index]
+            if child.live_slots:
+                break
+            del parent.children[index]
+            self._release_frame(child.frame)
+            self.node_count -= 1
+        return pte_frame(pte)
+
+    def update(self, vpn: int, pfn: int, flags: PteFlags) -> None:
+        """Replace the translation for an already-mapped ``vpn``."""
+        node, leaf_index = self._leaf_for(vpn)
+        if node is None or not pte_present(node.entries.get(leaf_index, 0)):
+            raise PageTableError(f"vpn {vpn:#x} not mapped")
+        node.entries[leaf_index] = make_pte(pfn, flags | PteFlags.PRESENT)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Return the PTE integer for ``vpn`` or ``None`` if unmapped.
+
+        For a page inside a huge mapping, returns a synthesized 4KB-style
+        PTE pointing at the page's frame within the huge frame range, with
+        the HUGE bit still set so callers can recognise it.
+        """
+        node, leaf_index = self._leaf_for(vpn)
+        if node is not None:
+            pte = node.entries.get(leaf_index, PTE_EMPTY)
+            if pte_present(pte):
+                return pte
+        huge = self.huge_entry_for(vpn)
+        if huge is not None:
+            offset = vpn % self.HUGE_PAGES
+            return make_pte(
+                pte_frame(huge) + offset, PteFlags.PRESENT | PteFlags.HUGE
+            )
+        return None
+
+    def translate(self, vpn: int) -> Optional[int]:
+        """Return the physical frame for ``vpn`` or ``None`` if unmapped."""
+        pte = self.lookup(vpn)
+        return None if pte is None else pte_frame(pte)
+
+    def is_mapped(self, vpn: int) -> bool:
+        """True if ``vpn`` has a present translation."""
+        return self.lookup(vpn) is not None
+
+    def walk_path(self, vpn: int) -> List[Tuple[int, int, int]]:
+        """Return the node path a hardware walk of ``vpn`` would take.
+
+        Each element is ``(level, node_frame, slot_index)`` from the root
+        down to the deepest node that exists. A complete path has
+        :data:`~repro.units.PT_LEVELS` elements; a shorter path means the
+        walk faults at the last returned level.
+        """
+        return self.walk_path_and_pte(vpn)[0]
+
+    def walk_path_and_pte(
+        self, vpn: int
+    ) -> Tuple[List[Tuple[int, int, int]], Optional[int]]:
+        """Walk path plus the leaf PTE in one traversal.
+
+        Returns ``(path, pte)`` where ``pte`` is the present leaf entry or
+        ``None`` (hole at some level). Single-traversal variant used by the
+        hardware walkers, which need both the accessed slots and the
+        translation.
+        """
+        indices = self._indices(vpn)
+        node = self.root
+        path = [(node.level, node.frame, indices[0])]
+        for depth in range(self.levels - 1):
+            if node.level == 2:
+                huge = node.entries.get(indices[depth])
+                if huge is not None and huge & 1:
+                    # Level-2 huge entry: the walk terminates here; the
+                    # translated frame is the page's slot within the 2MB
+                    # frame range.
+                    offset = vpn % self.HUGE_PAGES
+                    return path, make_pte(
+                        pte_frame(huge) + offset,
+                        PteFlags.PRESENT | PteFlags.HUGE,
+                    )
+            child = node.children.get(indices[depth])
+            if child is None:
+                return path, None
+            node = child
+            path.append((node.level, node.frame, indices[depth + 1]))
+        pte = node.entries.get(indices[-1])
+        if pte is None or not pte & 1:  # PRESENT bit
+            return path, None
+        return path, pte
+
+    def _leaf_for(self, vpn: int) -> Tuple[Optional[PageTableNode], int]:
+        indices = self._indices(vpn)
+        node = self.root
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if child is None:
+                return None, indices[-1]
+            node = child
+        return node, indices[-1]
+
+    # ------------------------------------------------------------------ #
+    # Iteration / teardown
+    # ------------------------------------------------------------------ #
+
+    def iter_mappings(self) -> Iterator[Tuple[int, int]]:
+        """Yield every present ``(vpn, pte)`` pair, in vpn order per node."""
+        yield from self._iter_node(self.root, 0)
+
+    def _iter_node(
+        self, node: PageTableNode, vpn_prefix: int
+    ) -> Iterator[Tuple[int, int]]:
+        if node.is_leaf:
+            for index in sorted(node.entries):
+                pte = node.entries[index]
+                if pte_present(pte):
+                    yield (vpn_prefix << BITS_PER_LEVEL) | index, pte
+            return
+        if node.level == 2:
+            # Expand huge entries to per-4KB pairs so metrics and teardown
+            # code see a uniform view.
+            for index in sorted(node.entries):
+                pte = node.entries[index]
+                if not pte_present(pte):
+                    continue
+                base_vpn = ((vpn_prefix << BITS_PER_LEVEL) | index) << BITS_PER_LEVEL
+                base_frame = pte_frame(pte)
+                for offset in range(self.HUGE_PAGES):
+                    yield base_vpn + offset, make_pte(
+                        base_frame + offset, PteFlags.PRESENT | PteFlags.HUGE
+                    )
+        for index in sorted(node.children):
+            child = node.children[index]
+            yield from self._iter_node(
+                child, (vpn_prefix << BITS_PER_LEVEL) | index
+            )
+
+    def destroy(self) -> None:
+        """Release every node frame (process teardown)."""
+        self._destroy_node(self.root)
+        self.root = PageTableNode(self._alloc_frame(), self.levels)
+        self.mapped_pages = 0
+        self.node_count = 1
+
+    def _destroy_node(self, node: PageTableNode) -> None:
+        for child in node.children.values():
+            self._destroy_node(child)
+        self._release_frame(node.frame)
+
+    def huge_mappings(self) -> Iterator[Tuple[int, int]]:
+        """Yield every live huge mapping as ``(base_vpn, base_frame)``."""
+        stack = [(self.root, 0)]
+        while stack:
+            node, prefix = stack.pop()
+            if node.level == 2:
+                for index, pte in node.entries.items():
+                    if pte_present(pte):
+                        base_vpn = (
+                            (prefix << BITS_PER_LEVEL) | index
+                        ) << BITS_PER_LEVEL
+                        yield base_vpn, pte_frame(pte)
+            if not node.is_leaf:
+                for index, child in node.children.items():
+                    stack.append((child, (prefix << BITS_PER_LEVEL) | index))
+
+    def leaf_nodes(self) -> Iterator[PageTableNode]:
+        """Yield every leaf (level-1) node currently in the tree."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.children.values())
+
+    @staticmethod
+    def slots_per_node() -> int:
+        """Fan-out of one node (512 on x86-64)."""
+        return PTES_PER_NODE

@@ -1,0 +1,116 @@
+"""Hardware page walker for one-dimensional (native) page walks.
+
+The walker chases the radix tree from the root to the leaf, issuing one
+memory access per level. Each access goes to the *physical address of the
+PTE slot* and is served by the CPU cache hierarchy; page-walk caches (PWCs)
+let the walker skip upper levels it has translated recently, exactly as on
+real x86 hardware (§2.5). The nested 2D walker in :mod:`repro.virt.nested`
+composes two of these walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..units import pte_address
+from .radix import PageTable
+
+#: Signature of the memory-access callback: (physical_address, stream_tag)
+#: -> latency in cycles. The stream tag attributes the access to a counter
+#: family ("gpt", "hpt", "data", ...).
+MemoryAccessFn = Callable[[int, str], int]
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one 1D page walk."""
+
+    #: Translated physical frame, or ``None`` if the walk hit a hole
+    #: (not-present entry) -- i.e. a page fault.
+    frame: Optional[int]
+    #: Total walk latency in cycles (sum of serialized PTE accesses).
+    cycles: int
+    #: Number of PT memory accesses issued (PWC hits skip accesses).
+    accesses: int
+    #: Deepest level the walk reached (1 = leaf).
+    deepest_level: int
+    #: ``(level, pte_physical_address, latency)`` per issued access.
+    trace: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def faulted(self) -> bool:
+        """True if the walk found no present translation."""
+        return self.frame is None
+
+
+class PageWalker:
+    """Walks one :class:`~repro.pagetable.radix.PageTable`.
+
+    Parameters
+    ----------
+    page_table:
+        The table to walk.
+    memory_access:
+        Callback performing one cache-hierarchy access; see
+        :data:`MemoryAccessFn`.
+    pwc:
+        Optional page-walk cache (see :class:`repro.cache.pwc.PageWalkCache`);
+        when present, hits skip upper-level accesses.
+    stream:
+        Tag passed to ``memory_access`` for counter attribution.
+    """
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        memory_access: MemoryAccessFn,
+        pwc: Optional["object"] = None,
+        stream: str = "pt",
+    ) -> None:
+        self.page_table = page_table
+        self.memory_access = memory_access
+        self.pwc = pwc
+        self.stream = stream
+        self.walks = 0
+        self.total_cycles = 0
+
+    def walk(self, vpn: int, record_trace: bool = False) -> WalkResult:
+        """Translate ``vpn``, issuing PT accesses through the hierarchy."""
+        levels = self.page_table.levels
+        path, leaf_pte = self.page_table.walk_path_and_pte(vpn)
+        start_depth = 0
+        if self.pwc is not None:
+            hit = self.pwc.lookup(vpn)
+            if hit is not None:
+                hit_level, _frame = hit
+                # A hit at `hit_level` supplies that node's frame directly,
+                # so the walk starts by accessing that node and skips all
+                # levels above it.
+                start_depth = min(levels - hit_level, len(path))
+        cycles = 0
+        accesses = 0
+        trace: List[Tuple[int, int, int]] = []
+        deepest = path[-1][0] if path else levels
+        for level, node_frame, index in path[start_depth:]:
+            addr = pte_address(node_frame, index)
+            latency = self.memory_access(addr, self.stream)
+            cycles += latency
+            accesses += 1
+            if record_trace:
+                trace.append((level, addr, latency))
+            if self.pwc is not None:
+                self.pwc.fill(vpn, level, node_frame)
+        frame = None
+        if leaf_pte is not None:
+            frame = leaf_pte >> 12
+            deepest = 1
+        self.walks += 1
+        self.total_cycles += cycles
+        return WalkResult(
+            frame=frame,
+            cycles=cycles,
+            accesses=accesses,
+            deepest_level=deepest,
+            trace=trace,
+        )

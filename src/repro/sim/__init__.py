@@ -1,0 +1,19 @@
+"""Simulation engine: machine assembly, scheduling and the run driver."""
+
+from .engine import Simulation, WorkloadRun
+from .machine import CoreContext, Machine
+from .results import RunResult, SimulationResult
+from .sampling import TimeSeries, TurnSampler
+from .scheduler import RoundRobinScheduler
+
+__all__ = [
+    "CoreContext",
+    "Machine",
+    "RoundRobinScheduler",
+    "RunResult",
+    "Simulation",
+    "SimulationResult",
+    "TimeSeries",
+    "TurnSampler",
+    "WorkloadRun",
+]

@@ -1,0 +1,45 @@
+"""Result records produced by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..metrics.counters import PerfCounters
+from ..os.kernel import KernelStats
+from ..virt.hypervisor import HostStats
+
+
+@dataclass
+class RunResult:
+    """Measurement of one workload run."""
+
+    name: str
+    counters: PerfCounters
+    rss_pages: int
+    faults_total: int
+    reservation_hits: int
+    ops_executed: int
+
+    @property
+    def cycles(self) -> int:
+        """Modelled execution time (measured window) in cycles."""
+        return self.counters.cycles
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation produced."""
+
+    runs: List[RunResult]
+    kernel_stats: KernelStats
+    host_stats: HostStats
+    turns: int
+    notes: List[str] = field(default_factory=list)
+
+    def run(self, name: str) -> Optional[RunResult]:
+        """Look up one run's result by workload name."""
+        for run in self.runs:
+            if run.name == name:
+                return run
+        return None

@@ -1,0 +1,87 @@
+"""Time-series sampling of simulation state.
+
+A :class:`TurnSampler` wraps a :class:`~repro.sim.engine.Simulation` and
+records configurable probes every N scheduler turns -- the simulator's
+equivalent of the paper's "measured every second" methodology (§6.2).
+Probes are plain callables over the simulation, so any quantity can be
+tracked: free memory, per-process RSS, reservation occupancy, the
+fragmentation metric, cache hit rates, ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from .engine import Simulation
+
+#: A probe reads one number from the simulation.
+Probe = Callable[[Simulation], float]
+
+
+@dataclass
+class TimeSeries:
+    """Samples of one probe: (turn, value) pairs."""
+
+    name: str
+    points: List[Tuple[int, float]] = field(default_factory=list)
+
+    def values(self) -> List[float]:
+        return [value for _turn, value in self.points]
+
+    @property
+    def peak(self) -> float:
+        return max(self.values()) if self.points else 0.0
+
+    @property
+    def final(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+
+class TurnSampler:
+    """Runs a simulation while sampling probes on a fixed turn cadence.
+
+    Example::
+
+        sampler = TurnSampler(sim, every=50)
+        sampler.add_probe("free", lambda s: s.kernel.free_fraction)
+        sampler.add_probe(
+            "rss", lambda s: run.process.rss_pages
+        )
+        sampler.run_until(lambda: run.finished)
+        print(sampler.series["free"].peak)
+    """
+
+    def __init__(self, simulation: Simulation, every: int = 50) -> None:
+        if every <= 0:
+            raise ValueError("sampling cadence must be positive")
+        self.simulation = simulation
+        self.every = every
+        self.series: Dict[str, TimeSeries] = {}
+
+    def add_probe(self, name: str, probe: Probe) -> None:
+        """Register a named probe (overwrites an existing name)."""
+        self.series[name] = TimeSeries(name)
+        self._probes = getattr(self, "_probes", {})
+        self._probes[name] = probe
+
+    def sample(self) -> None:
+        """Take one sample of every probe right now."""
+        turn = self.simulation.turns
+        for name, probe in getattr(self, "_probes", {}).items():
+            self.series[name].points.append((turn, probe(self.simulation)))
+
+    def run_until(
+        self, done: Callable[[], bool], max_turns: int = 1_000_000
+    ) -> None:
+        """Advance the simulation until ``done()``; sample on cadence.
+
+        A final sample is always taken at the stop point.
+        """
+        for _ in range(max_turns):
+            if done():
+                break
+            self.simulation.turn()
+            if self.simulation.turns % self.every == 0:
+                self.sample()
+        self.sample()

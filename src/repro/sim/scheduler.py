@@ -1,0 +1,64 @@
+"""Round-robin scheduling of workload runs.
+
+The paper colocates applications inside one VM with threads pinned to
+different cores, so all applications make progress concurrently. The
+scheduler models that with weighted round-robin time slices: each turn,
+every live run executes ``weight * ops_per_slice`` memory operations.
+Interleaving granularity is what drives fragmentation -- page faults of
+different applications arrive interleaved at the guest buddy allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Protocol
+
+
+class Schedulable(Protocol):
+    """What the scheduler needs from a run."""
+
+    weight: int
+
+    @property
+    def finished(self) -> bool: ...
+
+    def step(self, max_ops: int) -> int: ...
+
+
+class RoundRobinScheduler:
+    """Weighted round-robin over workload runs."""
+
+    def __init__(self, ops_per_slice: int = 64) -> None:
+        if ops_per_slice <= 0:
+            raise ValueError("ops_per_slice must be positive")
+        self.ops_per_slice = ops_per_slice
+        self._runs: List[Schedulable] = []
+
+    def add(self, run: Schedulable) -> None:
+        """Register a run for scheduling."""
+        self._runs.append(run)
+
+    def remove(self, run: Schedulable) -> None:
+        """Deschedule a run (e.g. a stopped co-runner)."""
+        self._runs.remove(run)
+
+    @property
+    def runs(self) -> List[Schedulable]:
+        return list(self._runs)
+
+    def live_runs(self) -> List[Schedulable]:
+        """Runs that still have operations to execute."""
+        return [run for run in self._runs if not run.finished]
+
+    def turn(self) -> int:
+        """Give every live run one time slice; returns ops executed."""
+        executed = 0
+        for run in self._runs:
+            if run.finished:
+                continue
+            executed += run.step(self.ops_per_slice * run.weight)
+        return executed
+
+    def turns(self) -> Iterator[int]:
+        """Yield per-turn op counts until every run is finished."""
+        while self.live_runs():
+            yield self.turn()

@@ -1,0 +1,5 @@
+"""Translation-lookaside buffers."""
+
+from .tlb import Tlb, TlbHierarchy
+
+__all__ = ["Tlb", "TlbHierarchy"]

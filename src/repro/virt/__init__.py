@@ -1,0 +1,15 @@
+"""Virtualization substrate: the host kernel and the nested (2D) walker.
+
+The host kernel (:mod:`repro.virt.hypervisor`) treats a VM exactly as
+Linux/KVM does -- as one process whose virtual address space *is* the
+guest's physical address space, backed lazily page-by-page (§3.1). The
+nested walker (:mod:`repro.virt.nested`) performs the 2D page walk of
+§2.5: a guest walk in which every guest-PT access itself requires a host
+walk, plus one final host walk for the data page -- up to 24 memory
+accesses in total.
+"""
+
+from .hypervisor import HostKernel, VmHandle
+from .nested import NestedWalkResult, NestedWalker
+
+__all__ = ["HostKernel", "NestedWalkResult", "NestedWalker", "VmHandle"]

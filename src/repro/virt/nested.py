@@ -1,0 +1,208 @@
+"""Nested (two-dimensional) page walker.
+
+Implements the 2D walk of §2.5: translating one guest virtual page
+requires
+
+* up to 4 accesses to guest-PT nodes, each of which lives in guest
+  physical memory and therefore first needs its *own* host walk (up to 4
+  host-PT accesses) to locate in host physical memory, and
+* one final host walk to translate the resulting guest physical address,
+
+for up to 4 x (4 + 1) + 4 = 24 serialized memory accesses. Guest and host
+page-walk caches skip upper levels they have seen recently, and a small
+nested TLB caches guest-frame -> host-frame translations for guest-PT
+node pages, as real MMUs do. Every access flows through the shared cache
+hierarchy tagged ``"gpt"`` or ``"hpt"`` so experiments can attribute
+hit/miss behaviour per dimension -- the measurement at the heart of the
+paper (gPT vs hPT accesses served by main memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.pwc import PageWalkCache
+from ..pagetable.radix import PageTable
+from ..pagetable.walker import PageWalker
+from ..units import PAGE_SHIFT, pte_address
+from .hypervisor import HostKernel, VmHandle
+
+#: Capacity of the nested TLB (gfn -> hfn for guest-PT node pages).
+NESTED_TLB_ENTRIES = 64
+
+
+@dataclass
+class NestedWalkResult:
+    """Outcome of one 2D page walk."""
+
+    #: Final host physical frame for the guest virtual page, or ``None``
+    #: if the *guest* PT has no translation (guest page fault).
+    host_frame: Optional[int]
+    #: Guest physical frame, or ``None`` on guest fault.
+    guest_frame: Optional[int]
+    #: Total serialized walk latency in cycles.
+    cycles: int
+    #: Cycles spent on host-PT accesses only (paper: "cycles spent
+    #: traversing the host page table").
+    host_cycles: int
+    #: Number of guest-PT entry accesses issued.
+    guest_accesses: int
+    #: Number of host-PT entry accesses issued.
+    host_accesses: int
+
+    @property
+    def faulted(self) -> bool:
+        """True if the guest PT had no translation (guest page fault)."""
+        return self.host_frame is None
+
+
+class NestedWalker:
+    """Performs 2D walks for one guest process inside one VM.
+
+    Parameters
+    ----------
+    guest_pt:
+        The guest process' page table (guest virtual -> guest physical).
+    vm:
+        The VM handle holding the host PT (guest physical -> host physical).
+    host:
+        The host kernel, consulted to back guest frames on first touch.
+    hierarchy:
+        The shared cache hierarchy all PT accesses flow through.
+    guest_pwc / host_pwc:
+        Page-walk caches for the two dimensions.
+    """
+
+    def __init__(
+        self,
+        guest_pt: PageTable,
+        vm: VmHandle,
+        host: HostKernel,
+        hierarchy: CacheHierarchy,
+        guest_pwc: Optional[PageWalkCache] = None,
+        host_pwc: Optional[PageWalkCache] = None,
+    ) -> None:
+        self.guest_pt = guest_pt
+        self.vm = vm
+        self.host = host
+        self.hierarchy = hierarchy
+        self.guest_pwc = guest_pwc
+        self.host_pwc = host_pwc
+        self._host_walker = PageWalker(
+            vm.host_pt,
+            memory_access=hierarchy.access,
+            pwc=host_pwc,
+            stream="hpt",
+        )
+        # Nested TLB: gfn -> hfn, LRU via insertion order.
+        self._ntlb: Dict[int, int] = {}
+        self.ntlb_hits = 0
+        self.ntlb_misses = 0
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_host_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # Host-dimension helpers
+    # ------------------------------------------------------------------ #
+
+    def _host_translate(self, gfn: int) -> Tuple[int, int, int]:
+        """Translate guest frame ``gfn``; returns (hfn, cycles, accesses).
+
+        Walks the host PT; on a host-PT hole (guest frame not yet backed)
+        the host kernel backs it and the walk is re-issued, modelling the
+        EPT-violation exit + resume.
+        """
+        result = self._host_walker.walk(gfn)
+        if result.frame is None:
+            self.host.ensure_backed(self.vm, gfn)
+            retry = self._host_walker.walk(gfn)
+            return (
+                retry.frame,
+                result.cycles + retry.cycles,
+                result.accesses + retry.accesses,
+            )
+        return result.frame, result.cycles, result.accesses
+
+    def _host_translate_node(self, gfn: int) -> Tuple[int, int, int]:
+        """Host-translate a guest-PT *node* frame, using the nested TLB."""
+        hfn = self._ntlb.get(gfn)
+        if hfn is not None:
+            del self._ntlb[gfn]
+            self._ntlb[gfn] = hfn  # refresh LRU position
+            self.ntlb_hits += 1
+            return hfn, 0, 0
+        self.ntlb_misses += 1
+        hfn, cycles, accesses = self._host_translate(gfn)
+        if len(self._ntlb) >= NESTED_TLB_ENTRIES:
+            del self._ntlb[next(iter(self._ntlb))]
+        self._ntlb[gfn] = hfn
+        return hfn, cycles, accesses
+
+    # ------------------------------------------------------------------ #
+    # The 2D walk
+    # ------------------------------------------------------------------ #
+
+    def walk(self, gvpn: int) -> NestedWalkResult:
+        """Translate guest virtual page ``gvpn`` end to end."""
+        cycles = 0
+        host_cycles = 0
+        guest_accesses = 0
+        host_accesses = 0
+
+        path, leaf_pte = self.guest_pt.walk_path_and_pte(gvpn)
+        start_depth = 0
+        if self.guest_pwc is not None:
+            hit = self.guest_pwc.lookup(gvpn)
+            if hit is not None:
+                hit_level, _frame = hit
+                start_depth = min(self.guest_pt.levels - hit_level, len(path))
+
+        for level, node_frame, index in path[start_depth:]:
+            # The gPTE lives at a guest-physical address; locate it in host
+            # physical memory first (nested dimension).
+            gpte_gpa = pte_address(node_frame, index)
+            hfn, walk_cycles, walk_accesses = self._host_translate_node(
+                node_frame
+            )
+            cycles += walk_cycles
+            host_cycles += walk_cycles
+            host_accesses += walk_accesses
+            # Then fetch the gPTE itself through the cache hierarchy.
+            gpte_hpa = (hfn << PAGE_SHIFT) | (gpte_gpa & ((1 << PAGE_SHIFT) - 1))
+            latency = self.hierarchy.access(gpte_hpa, "gpt")
+            cycles += latency
+            guest_accesses += 1
+            if self.guest_pwc is not None:
+                self.guest_pwc.fill(gvpn, level, node_frame)
+
+        guest_frame = None
+        host_frame = None
+        if leaf_pte is not None:
+            guest_frame = leaf_pte >> PAGE_SHIFT
+        if guest_frame is not None:
+            # Final host walk: translate the data page's guest frame.
+            host_frame, walk_cycles, walk_accesses = self._host_translate(
+                guest_frame
+            )
+            cycles += walk_cycles
+            host_cycles += walk_cycles
+            host_accesses += walk_accesses
+
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_host_cycles += host_cycles
+        return NestedWalkResult(
+            host_frame=host_frame,
+            guest_frame=guest_frame,
+            cycles=cycles,
+            host_cycles=host_cycles,
+            guest_accesses=guest_accesses,
+            host_accesses=host_accesses,
+        )
+
+    def flush_ntlb(self) -> None:
+        """Drop all nested-TLB entries (host PT changed)."""
+        self._ntlb.clear()

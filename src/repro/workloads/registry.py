@@ -1,0 +1,85 @@
+"""Workload registry: the Table 3 roster as constructable factories.
+
+Experiments look benchmarks and co-runners up by name here, so every
+harness agrees on what "pagerank" or "objdet" means, and the Table 3
+analog can be generated from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import WorkloadError
+from .base import Workload
+from .corunners import (
+    Chameleon,
+    JsonSerdes,
+    ObjectDetection,
+    PyAes,
+    RnnServing,
+    StressNg,
+)
+from .graph import Bfs, ConnectedComponents, Nibble, PageRank
+from .spec import Gcc, LowPressureSpec, Mcf, Omnetpp, Xz
+
+#: The measured benchmarks of Figures 5-7, in the paper's plot order.
+BENCHMARKS: Dict[str, Callable[[int], Workload]] = {
+    "cc": lambda seed: ConnectedComponents(seed=seed),
+    "bfs": lambda seed: Bfs(seed=seed),
+    "nibble": lambda seed: Nibble(seed=seed),
+    "pagerank": lambda seed: PageRank(seed=seed),
+    "gcc": lambda seed: Gcc(seed=seed),
+    "mcf": lambda seed: Mcf(seed=seed),
+    "omnetpp": lambda seed: Omnetpp(seed=seed),
+    "xz": lambda seed: Xz(seed=seed),
+}
+
+#: Low-TLB-pressure SPECint stand-ins for the "never slows down" claim.
+LOW_PRESSURE_BENCHMARKS: Dict[str, Callable[[int], Workload]] = {
+    "leela": lambda seed: LowPressureSpec("leela", seed=seed),
+    "x264": lambda seed: LowPressureSpec("x264", seed=seed),
+    "deepsjeng": lambda seed: LowPressureSpec("deepsjeng", seed=seed),
+}
+
+#: The co-runner set of Table 3.
+CO_RUNNERS: Dict[str, Callable[[int], Workload]] = {
+    "objdet": lambda seed: ObjectDetection(seed=seed),
+    "chameleon": lambda seed: Chameleon(seed=seed),
+    "pyaes": lambda seed: PyAes(seed=seed),
+    "json_serdes": lambda seed: JsonSerdes(seed=seed),
+    "rnn_serving": lambda seed: RnnServing(seed=seed),
+    "gcc": lambda seed: Gcc(seed=seed),
+    "xz": lambda seed: Xz(seed=seed),
+    "stress-ng": lambda seed: StressNg(seed=seed),
+}
+
+
+def make_benchmark(name: str, seed: int = 0) -> Workload:
+    """Construct a measured benchmark by name."""
+    factory = BENCHMARKS.get(name) or LOW_PRESSURE_BENCHMARKS.get(name)
+    if factory is None:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: "
+            f"{sorted(BENCHMARKS) + sorted(LOW_PRESSURE_BENCHMARKS)}"
+        )
+    return factory(seed)
+
+
+def make_corunner(name: str, seed: int = 0) -> Workload:
+    """Construct a co-runner by name."""
+    factory = CO_RUNNERS.get(name)
+    if factory is None:
+        raise WorkloadError(
+            f"unknown co-runner {name!r}; known: {sorted(CO_RUNNERS)}"
+        )
+    return factory(seed)
+
+
+def table3_rows() -> List[Tuple[str, str, str]]:
+    """Rows of the Table 3 analog: (role, name, description)."""
+    rows = []
+    for name in BENCHMARKS:
+        rows.append(("benchmark", name, make_benchmark(name).description))
+    for name in CO_RUNNERS:
+        rows.append(("co-runner", name, make_corunner(name).description))
+    return rows

@@ -1,0 +1,85 @@
+"""Scripted workloads: compose custom scenarios from op lists.
+
+Useful for tests, examples and user experiments that need a precise,
+hand-written memory behaviour rather than a statistical model:
+
+    workload = ScriptedWorkload("demo", [
+        MmapOp("a", 16),
+        *(AccessOp("a", page, write=True) for page in range(16)),
+        FreeOp("a"),
+    ])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Union
+
+from .base import AccessOp, MemoryOp, MmapOp, Workload
+
+OpSource = Union[Iterable[MemoryOp], Callable[[], Iterator[MemoryOp]]]
+
+
+class ScriptedWorkload(Workload):
+    """A workload defined by an explicit operation sequence.
+
+    Parameters
+    ----------
+    name:
+        Workload label.
+    source:
+        Either a finite iterable of ops (materialised once, replayable) or
+        a zero-argument callable returning a fresh iterator (for streams
+        too large to materialise).
+    footprint_pages:
+        Optional footprint override; derived from the script's ``MmapOp``
+        sizes when omitted (only possible for iterable sources).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: OpSource,
+        footprint_pages: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, seed)
+        if callable(source):
+            self._script: Optional[List[MemoryOp]] = None
+            self._factory = source
+            if footprint_pages is None:
+                raise ValueError(
+                    "footprint_pages is required for callable sources"
+                )
+            self._footprint = footprint_pages
+        else:
+            self._script = list(source)
+            self._factory = None
+            if footprint_pages is None:
+                footprint_pages = sum(
+                    op.npages for op in self._script if isinstance(op, MmapOp)
+                )
+            self._footprint = footprint_pages
+
+    @property
+    def footprint_pages(self) -> int:
+        return self._footprint
+
+    def ops(self) -> Iterator[MemoryOp]:
+        if self._script is not None:
+            return iter(self._script)
+        return self._factory()
+
+    @classmethod
+    def touch_region(
+        cls, name: str, npages: int, sweeps: int = 1, write: bool = True
+    ) -> "ScriptedWorkload":
+        """Convenience: mmap one region and sweep it ``sweeps`` times."""
+        if npages <= 0 or sweeps <= 0:
+            raise ValueError("npages and sweeps must be positive")
+        script: List[MemoryOp] = [MmapOp("data", npages)]
+        for _ in range(sweeps):
+            script.extend(
+                AccessOp("data", page, block=page % 64, write=write)
+                for page in range(npages)
+            )
+        return cls(name, script)

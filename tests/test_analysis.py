@@ -1,0 +1,93 @@
+"""Tests for the results-analysis/report module."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    load_results,
+    main,
+    render_markdown_report,
+    verdicts,
+)
+
+GOOD_RESULTS = {
+    "table1": {
+        "Execution time": 4.4,
+        "Page walk cycles": 55.6,
+        "Host PT accesses served by memory": 110.0,
+        "Guest PT accesses served by memory": 1.4,
+    },
+    "figure5": {
+        "pagerank": {"default": 5.0, "ptemagnet": 1.0},
+        "xz": {"default": 5.0, "ptemagnet": 1.0},
+    },
+    "figure6": {
+        "improvements": {"pagerank": 3.4, "xz": 4.7},
+        "low_pressure": {"leela": 0.6},
+        "geomean": 4.0,
+    },
+    "figure7": {"improvements": {"pagerank": 6.8}, "geomean": 7.0},
+    "sec62": {
+        "peaks_percent": {"pagerank": 0.05},
+        "adversarial_ratio": 7.0,
+    },
+    "sec64": {"change_percent": -1.2},
+    "table4": {"Execution time": -3.4},
+}
+
+
+class TestVerdicts:
+    def test_all_pass_on_good_results(self):
+        graded = verdicts(GOOD_RESULTS)
+        assert graded
+        assert all(passed for _t, passed, _d in graded)
+
+    def test_slowdown_fails_figure6(self):
+        bad = json.loads(json.dumps(GOOD_RESULTS))
+        bad["figure6"]["improvements"]["pagerank"] = -0.5
+        graded = dict(
+            (target, passed) for target, passed, _d in verdicts(bad)
+        )
+        assert not graded["Figure 6: no benchmark slowed down"]
+
+    def test_unpinned_fragmentation_fails_figure5(self):
+        bad = json.loads(json.dumps(GOOD_RESULTS))
+        bad["figure5"]["pagerank"]["ptemagnet"] = 3.0
+        graded = dict(
+            (target, passed) for target, passed, _d in verdicts(bad)
+        )
+        assert not graded["Figure 5: PTEMagnet pins fragmentation at ~1"]
+
+    def test_partial_results_grade_partially(self):
+        graded = verdicts({"sec64": {"change_percent": -1.0}})
+        assert len(graded) == 1
+
+    def test_empty_results(self):
+        assert verdicts({}) == []
+
+
+class TestRendering:
+    def test_report_contains_sections(self):
+        report = render_markdown_report(GOOD_RESULTS)
+        assert "# PTEMagnet reproduction report" in report
+        assert "Figure 6" in report
+        assert "geomean" in report
+        assert "PASS" in report
+
+    def test_report_on_empty(self):
+        report = render_markdown_report({})
+        assert report.startswith("# PTEMagnet reproduction report")
+
+
+class TestCli:
+    def test_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(GOOD_RESULTS))
+        assert load_results(str(path)) == GOOD_RESULTS
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_usage_error(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,67 @@
+"""Fast integration tests of the figure/table harnesses.
+
+Each harness runs with a minimal benchmark list / small platform so the
+full pipeline (pre-churn, phase gating, paired runs, rendering) is
+exercised inside the unit suite; the full-scale versions live under
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.config import GuestConfig, HostConfig, PlatformConfig
+from repro.experiments import (
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_sec62,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_sec62,
+)
+from repro.units import MB
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return PlatformConfig(
+        host=HostConfig(memory_bytes=128 * MB),
+        guest=GuestConfig(memory_bytes=64 * MB),
+    )
+
+
+class TestFigureHarnessesSmall:
+    def test_figure5_single_benchmark(self, platform):
+        result = run_figure5(platform, benchmarks=("leela",))
+        assert "leela" in result.fragmentation
+        default, magnet = result.fragmentation["leela"]
+        assert magnet <= default
+        assert "leela" in render_figure5(result)
+
+    def test_figure6_single_benchmark(self, platform):
+        result = run_figure6(
+            platform,
+            benchmarks=("leela",),
+            include_low_pressure=False,
+        )
+        assert set(result.improvements) == {"leela"}
+        assert result.geomean == pytest.approx(
+            result.improvements["leela"]
+        )
+        assert "Geomean" in render_figure6(result)
+
+    def test_figure7_single_benchmark(self, platform):
+        result = run_figure7(platform, benchmarks=("leela",))
+        assert set(result.improvements) == {"leela"}
+        assert "Geomean" in render_figure7(result)
+
+    def test_sec62_single_benchmark(self, platform):
+        result = run_sec62(platform, benchmarks=("leela",), sample_every=25)
+        assert "leela" in result.samples
+        assert result.peak_overhead_percent("leela") < 20.0
+        assert "leela" in render_sec62(result)
+
+    def test_sec62_missing_benchmark_peak_is_zero(self):
+        from repro.experiments.sec62 import Sec62Result
+
+        assert Sec62Result().peak_overhead_percent("ghost") == 0.0

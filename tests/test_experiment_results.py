@@ -1,0 +1,98 @@
+"""Unit tests for experiment result containers and renderers (no sims)."""
+
+import pytest
+
+from repro.experiments.baselines import BaselineResult, BaselineRow, render_baselines
+from repro.experiments.figure5 import Figure5Result, render_figure5
+from repro.experiments.figure6 import Figure6Result, render_figure6
+from repro.experiments.figure7 import Figure7Result, render_figure7
+from repro.experiments.sensitivity import SensitivityResult, render_sensitivity
+
+
+class TestFigure5Result:
+    def test_value_accessors(self):
+        result = Figure5Result({"a": (5.0, 1.0), "b": (4.0, 1.1)})
+        assert result.default_values() == [5.0, 4.0]
+        assert result.ptemagnet_values() == [1.0, 1.1]
+
+    def test_render(self):
+        text = render_figure5(Figure5Result({"pagerank": (5.0, 1.0)}))
+        assert "pagerank" in text and "5.00" in text and "1.00" in text
+
+
+class TestFigure6Result:
+    def make(self):
+        return Figure6Result(
+            improvements={"a": 2.0, "b": 6.0},
+            low_pressure={"leela": 0.4},
+        )
+
+    def test_geomean_between_min_max(self):
+        result = self.make()
+        assert 2.0 < result.geomean < 6.0
+
+    def test_best_and_worst(self):
+        result = self.make()
+        assert result.best == 6.0
+        assert result.worst == 0.4
+
+    def test_empty(self):
+        empty = Figure6Result()
+        assert empty.geomean == 0.0
+        assert empty.best == 0.0
+        assert empty.worst == 0.0
+
+    def test_render_mentions_low_pressure(self):
+        text = render_figure6(self.make())
+        assert "Geomean" in text
+        assert "leela" in text
+
+
+class TestFigure7Result:
+    def test_render(self):
+        result = Figure7Result({"a": 3.0})
+        text = render_figure7(result)
+        assert "Geomean" in text
+        assert result.best == 3.0
+
+
+class TestBaselineResult:
+    def make(self):
+        rows = {
+            "default": BaselineRow("default", 1000, 200, 5.0, 100, 10, 50, 50),
+            "ptemagnet": BaselineRow("ptemagnet", 950, 150, 1.0, 90, 10, 50, 50),
+            "ca": BaselineRow("ca", 980, 180, 2.5, 95, 10, 50, 50),
+            "thp": BaselineRow("thp", 920, 100, 1.1, 80, 10, 400, 50),
+        }
+        return BaselineResult(rows, "bench")
+
+    def test_improvement(self):
+        result = self.make()
+        assert result.improvement_over_default("ptemagnet") == pytest.approx(5.0)
+        assert result.improvement_over_default("default") == 0.0
+
+    def test_memory_waste(self):
+        result = self.make()
+        assert result.rows["thp"].memory_waste_percent == pytest.approx(700.0)
+        assert result.rows["default"].memory_waste_percent == 0.0
+
+    def test_mean_fault_cycles(self):
+        assert self.make().rows["default"].mean_fault_cycles == 10.0
+        empty = BaselineRow("x", 0, 0, 0.0, 0, 0, 0, 0)
+        assert empty.mean_fault_cycles == 0.0
+        assert empty.memory_waste_percent == 0.0
+
+    def test_render(self):
+        text = render_baselines(self.make())
+        for mode in ("default", "ca", "thp", "ptemagnet"):
+            assert mode in text
+
+
+class TestSensitivityResult:
+    def test_render_sorted(self):
+        result = SensitivityResult(
+            "LLC size (KB)", {512: (3.4, 100), 256: (3.3, 150)}
+        )
+        text = render_sensitivity(result)
+        assert text.index("256") < text.index("512")
+        assert "+3.30%" in text

@@ -1,0 +1,113 @@
+"""Tests for the experiment harness layer (fast paths only).
+
+The full experiment sweeps live under ``benchmarks/``; these tests check
+the harness mechanics (measurement windows, pairing, geomean, rendering)
+on small scenarios so the unit suite stays quick.
+"""
+
+import pytest
+
+from repro.config import GuestConfig, HostConfig, PlatformConfig
+from repro.experiments.common import (
+    compare_kernels,
+    geometric_mean,
+    run_colocated,
+)
+from repro.experiments.sec62 import StrideEighthWorkload, run_adversarial_sec62
+from repro.experiments.sec64 import TouchOnceWorkload, run_sec64
+from repro.metrics.counters import PerfCounters
+from repro.units import MB
+
+
+@pytest.fixture(scope="module")
+def small_platform():
+    return PlatformConfig(
+        host=HostConfig(memory_bytes=128 * MB),
+        guest=GuestConfig(memory_bytes=64 * MB),
+    )
+
+
+class TestGeometricMean:
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_identity(self):
+        assert geometric_mean([5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_mixed(self):
+        value = geometric_mean([0.0, 10.0])
+        assert 4.0 < value < 5.0  # sqrt(1.1) - 1 = 4.88%
+
+    def test_matches_speedup_definition(self):
+        # +100% and -50% are reciprocal speedups -> geomean 0%.
+        assert geometric_mean([100.0, -50.0]) == pytest.approx(0.0)
+
+
+class TestRunColocated:
+    def test_isolated_run_produces_counters(self, small_platform):
+        outcome = run_colocated(
+            small_platform, "leela", corunners=(), prechurn_turns=0
+        )
+        counters = outcome.benchmark.counters
+        assert counters.accesses > 0
+        assert counters.cycles > 0
+        assert outcome.benchmark.name == "leela"
+
+    def test_corunner_stops_at_compute(self, small_platform):
+        outcome = run_colocated(
+            small_platform,
+            "leela",
+            corunners=[("pyaes", 1)],
+            stop_corunners_at_compute=True,
+            prechurn_turns=50,
+        )
+        sim = outcome.simulation
+        co_run = next(
+            run for run in sim.runs if run.workload.name == "pyaes"
+        )
+        assert co_run.finished  # stopped
+
+    def test_paired_comparison_is_seed_stable(self, small_platform):
+        a = compare_kernels(small_platform, "leela", (), seed=1)
+        b = compare_kernels(small_platform, "leela", (), seed=1)
+        assert a.improvement_percent == pytest.approx(b.improvement_percent)
+
+    def test_metric_change_sign_matches_improvement(self, small_platform):
+        comparison = compare_kernels(small_platform, "leela", (), seed=0)
+        change = comparison.metric_change("cycles")
+        # cycles falling (negative change) <=> positive improvement.
+        if comparison.improvement_percent > 0:
+            assert change < 0
+        elif comparison.improvement_percent < 0:
+            assert change > 0
+
+    def test_metric_change_unknown_metric_raises(self, small_platform):
+        comparison = compare_kernels(small_platform, "leela", (), seed=0)
+        with pytest.raises(AttributeError):
+            comparison.metric_change("nonexistent_metric")
+
+
+class TestSec62Adversary:
+    def test_stride_workload_shape(self):
+        workload = StrideEighthWorkload(npages=64)
+        ops = list(workload.ops())
+        from repro.workloads.base import AccessOp
+
+        touched = [op.page for op in ops if isinstance(op, AccessOp)]
+        assert touched == [0, 8, 16, 24, 32, 40, 48, 56]
+
+    def test_adversarial_ratio_near_seven(self, small_platform):
+        ratio = run_adversarial_sec62(small_platform)
+        assert 6.0 <= ratio <= 7.0
+
+
+class TestSec64:
+    def test_touch_once_terminates(self):
+        ops = list(TouchOnceWorkload(npages=10).ops())
+        from repro.workloads.base import AccessOp
+
+        assert sum(1 for op in ops if isinstance(op, AccessOp)) == 10
+
+    def test_ptemagnet_not_slower(self, small_platform):
+        result = run_sec64(small_platform, npages=3000)
+        assert result.ptemagnet_cycles <= result.default_cycles

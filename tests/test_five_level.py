@@ -1,0 +1,128 @@
+"""Tests for 5-level page tables (the la57 extension §2.5 anticipates)."""
+
+import pytest
+
+from repro.config import GuestConfig, HostConfig, PlatformConfig
+from repro.errors import PageTableError
+from repro.pagetable.radix import PageTable
+from repro.units import MB
+
+
+class FrameSource:
+    def __init__(self):
+        self.next = 100
+
+    def alloc(self):
+        frame = self.next
+        self.next += 1
+        return frame
+
+
+class TestFiveLevelTable:
+    def test_depth_validation(self):
+        with pytest.raises(PageTableError):
+            PageTable(FrameSource().alloc, levels=1)
+        with pytest.raises(PageTableError):
+            PageTable(FrameSource().alloc, levels=7)
+
+    def test_map_translate_roundtrip(self):
+        table = PageTable(FrameSource().alloc, levels=5)
+        vpns = [0, 7, 1 << 36, (1 << 40) + 5]
+        for i, vpn in enumerate(vpns):
+            table.map(vpn, 1000 + i)
+        for i, vpn in enumerate(vpns):
+            assert table.translate(vpn) == 1000 + i
+
+    def test_walk_path_has_five_levels(self):
+        table = PageTable(FrameSource().alloc, levels=5)
+        table.map(0x12345, 9)
+        path = table.walk_path(0x12345)
+        assert len(path) == 5
+        assert [level for level, _f, _i in path] == [5, 4, 3, 2, 1]
+
+    def test_node_count_scales_with_depth(self):
+        four = PageTable(FrameSource().alloc, levels=4)
+        five = PageTable(FrameSource().alloc, levels=5)
+        four.map(0, 1)
+        five.map(0, 1)
+        assert five.node_count == four.node_count + 1
+
+    def test_vpn_beyond_48_bits(self):
+        # 5-level tables cover 57-bit VAs; vpns above the 4-level range
+        # must work.
+        table = PageTable(FrameSource().alloc, levels=5)
+        huge_vpn = 1 << 42
+        table.map(huge_vpn, 77)
+        assert table.translate(huge_vpn) == 77
+
+    def test_unmap_prunes_five_levels(self):
+        table = PageTable(FrameSource().alloc, levels=5)
+        table.map(123, 4)
+        table.unmap(123)
+        assert table.node_count == 1
+
+
+class TestFiveLevelWalks:
+    def make_walker(self, levels):
+        from repro.pagetable.walker import PageWalker
+
+        table = PageTable(FrameSource().alloc, levels=levels)
+        accesses = []
+
+        def memory(addr, stream):
+            accesses.append(addr)
+            return 10
+
+        return table, PageWalker(table, memory), accesses
+
+    def test_five_level_walk_issues_five_accesses(self):
+        table, walker, accesses = self.make_walker(5)
+        table.map(0x555, 3)
+        result = walker.walk(0x555)
+        assert result.accesses == 5
+        assert result.frame == 3
+
+    def test_deeper_tables_cost_more(self):
+        table4, walker4, _ = self.make_walker(4)
+        table5, walker5, _ = self.make_walker(5)
+        table4.map(9, 1)
+        table5.map(9, 1)
+        assert walker5.walk(9).cycles > walker4.walk(9).cycles
+
+
+class TestFiveLevelNestedStack:
+    def test_end_to_end_simulation_with_la57(self):
+        from repro import Simulation
+        from tests.test_engine import TinyWorkload
+
+        platform = PlatformConfig(
+            host=HostConfig(memory_bytes=64 * MB, pt_levels=5),
+            guest=GuestConfig(memory_bytes=32 * MB, pt_levels=5),
+        )
+        sim = Simulation(platform)
+        run = sim.add_workload(TinyWorkload(npages=16, repeat=2))
+        run.start_measurement()  # measure from the first fault
+        sim.run_until_finished(run)
+        counters = sim.result_for(run).counters
+        assert counters.accesses == 48  # init touches + 2 compute sweeps
+        assert counters.walk_cycles > 0
+
+    def test_la57_walks_cost_more_than_la48(self):
+        from repro import Simulation
+        from tests.test_engine import TinyWorkload
+
+        def walk_cycles(levels):
+            platform = PlatformConfig(
+                host=HostConfig(memory_bytes=64 * MB, pt_levels=levels),
+                guest=GuestConfig(memory_bytes=32 * MB, pt_levels=levels),
+            )
+            sim = Simulation(platform)
+            # Disable PWCs so depth differences are fully visible.
+            run = sim.add_workload(TinyWorkload(npages=64, repeat=1))
+            run.core.guest_pwc.entries_per_level = 0
+            run.core.host_pwc.entries_per_level = 0
+            run.start_measurement()  # include the faulting init sweep
+            sim.run_until_finished(run)
+            return sim.result_for(run).counters.walk_cycles
+
+        assert walk_cycles(5) > walk_cycles(4)

@@ -1,0 +1,82 @@
+"""Whole-stack integration tests: every layer in one scenario.
+
+These complement the per-module suites by checking cross-layer facts a
+downstream user relies on: counters reconcile across layers, the host
+and guest views agree, and the public API round-trips through a real
+colocation.
+"""
+
+import pytest
+
+from repro import PlatformConfig, Simulation, make_benchmark, make_corunner
+from repro.config import GuestConfig, HostConfig
+from repro.units import MB
+from repro.workloads import WorkloadPhase
+
+
+@pytest.fixture(scope="module")
+def finished_sim():
+    platform = PlatformConfig(
+        host=HostConfig(memory_bytes=128 * MB),
+        guest=GuestConfig(memory_bytes=64 * MB, ptemagnet_enabled=True),
+    )
+    sim = Simulation(platform)
+    sim.scheduler.ops_per_slice = 2
+    co = sim.add_workload(make_corunner("pyaes"), weight=1)
+    bench = sim.add_workload(make_benchmark("leela"))
+    sim.run_until_phase(bench, WorkloadPhase.COMPUTE)
+    bench.start_measurement()
+    sim.run_until_finished(bench)
+    return sim, bench, co
+
+
+class TestCrossLayerConsistency:
+    def test_guest_rss_is_host_backed(self, finished_sim):
+        sim, bench, _co = finished_sim
+        # Every mapped guest page of the benchmark has a host backing.
+        for _vpn, pte in bench.process.page_table.iter_mappings():
+            gfn = pte >> 12
+            assert sim.vm.host_pt.translate(gfn) is not None
+
+    def test_host_backing_accounted(self, finished_sim):
+        sim, _bench, _co = finished_sim
+        assert sim.host.stats.pages_backed == sim.vm.host_pt.mapped_pages
+
+    def test_counters_reconcile(self, finished_sim):
+        sim, bench, _co = finished_sim
+        counters = sim.result_for(bench).counters
+        assert counters.accesses > 0
+        # Walk cycles cannot exceed total cycles; host share cannot exceed
+        # walk cycles.
+        assert counters.host_walk_cycles <= counters.walk_cycles
+        assert counters.walk_cycles < counters.cycles
+        # Memory-served accesses are a subset of total accesses per stream.
+        assert counters.hpt_memory_accesses <= counters.hpt_accesses
+        assert counters.gpt_memory_accesses <= counters.gpt_accesses
+
+    def test_tlb_misses_bounded_by_accesses(self, finished_sim):
+        sim, bench, _co = finished_sim
+        counters = sim.result_for(bench).counters
+        assert 0 <= counters.tlb_misses <= counters.accesses
+
+    def test_guest_frame_accounting(self, finished_sim):
+        sim, _bench, _co = finished_sim
+        info = sim.kernel.meminfo()
+        total = sum(v for k, v in info.items() if k != "total")
+        assert total == info["total"]
+
+    def test_results_bundle_contains_both_runs(self, finished_sim):
+        sim, bench, co = finished_sim
+        bundle = sim.results()
+        assert bundle.run(bench.workload.name) is not None
+        assert bundle.run(co.workload.name) is not None
+
+    def test_reservation_stats_flow_to_process(self, finished_sim):
+        sim, bench, _co = finished_sim
+        # leela under PTEMagnet: most faults after the first in each group
+        # are reservation hits.
+        assert bench.process.reservation_hits > 0
+        assert (
+            sim.kernel.stats.reservation_hit_faults
+            >= bench.process.reservation_hits
+        )

@@ -1,0 +1,241 @@
+"""Tests for the guest kernel: fault paths, frees, process lifecycle."""
+
+import pytest
+
+from repro.config import GuestConfig, MachineConfig
+from repro.errors import SegmentationFault, SimulationError
+from repro.mem.physical import FrameState
+from repro.os.fault import FaultKind
+from repro.os.kernel import GuestKernel
+from repro.units import MB, RESERVATION_PAGES
+
+
+def make_kernel(ptemagnet=False, memory_mb=32, **kwargs):
+    config = GuestConfig(
+        memory_bytes=memory_mb * MB, ptemagnet_enabled=ptemagnet, **kwargs
+    )
+    return GuestKernel(config, MachineConfig())
+
+
+class TestProcessLifecycle:
+    def test_create_process(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        assert p.pid in kernel.processes
+        assert p.part is None  # default kernel: no PaRT
+
+    def test_ptemagnet_process_gets_part(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        assert p.part is not None
+
+    def test_exit_releases_everything(self):
+        kernel = make_kernel()
+        free_at_boot = kernel.buddy.free_frames
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 100)
+        for vpn in vma.pages():
+            kernel.handle_fault(p, vpn)
+        kernel.exit_process(p)
+        assert kernel.buddy.free_frames == free_at_boot
+        assert p.pid not in kernel.processes
+
+    def test_exit_ptemagnet_process_releases_reservations(self):
+        kernel = make_kernel(ptemagnet=True)
+        free_at_boot = kernel.buddy.free_frames
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        kernel.handle_fault(p, vma.start_vpn)  # 1 mapped, 7 reserved
+        kernel.exit_process(p)
+        assert kernel.buddy.free_frames == free_at_boot
+
+    def test_double_exit_raises(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        kernel.exit_process(p)
+        with pytest.raises(SimulationError):
+            kernel.exit_process(p)
+
+
+class TestDefaultFaultPath:
+    def test_fault_maps_one_page(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 10)
+        outcome = kernel.handle_fault(p, vma.start_vpn)
+        assert outcome.kind is FaultKind.DEFAULT
+        assert p.page_table.translate(vma.start_vpn) == outcome.frame
+        assert p.rss_pages == 1
+
+    def test_fault_outside_vma_segfaults(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        with pytest.raises(SegmentationFault):
+            kernel.handle_fault(p, 0xDEAD)
+
+    def test_refault_is_spurious(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 1)
+        first = kernel.handle_fault(p, vma.start_vpn)
+        second = kernel.handle_fault(p, vma.start_vpn)
+        assert second.kind is FaultKind.SPURIOUS
+        assert second.frame == first.frame
+        assert second.cycles == 0
+
+    def test_fault_cycles_charged(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 1)
+        outcome = kernel.handle_fault(p, vma.start_vpn)
+        machine = kernel.machine
+        assert outcome.cycles == (
+            machine.page_fault_cycles + machine.buddy_call_cycles
+        )
+
+
+class TestPTEMagnetFaultPath:
+    def test_first_fault_creates_reservation(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        outcome = kernel.handle_fault(p, vma.start_vpn)
+        assert outcome.kind is FaultKind.RESERVATION_NEW
+        assert len(p.part) == 1
+        reservation = next(p.part.iter_reservations())
+        assert reservation.mapped_count == 1
+        assert reservation.unmapped_count == 7
+
+    def test_group_faults_hit_reservation(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        base = vma.start_vpn - (vma.start_vpn % RESERVATION_PAGES)
+        first = kernel.handle_fault(p, vma.start_vpn)
+        # Remaining pages of the group are served from the reservation.
+        hits = 0
+        for vpn in range(base, base + RESERVATION_PAGES):
+            if vpn == vma.start_vpn or not vma.contains(vpn):
+                continue
+            outcome = kernel.handle_fault(p, vpn)
+            assert outcome.kind is FaultKind.RESERVATION_HIT
+            hits += 1
+        assert hits > 0
+
+    def test_group_frames_are_contiguous(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        # Use a group fully inside the VMA.
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        frames = [
+            kernel.handle_fault(p, base + i).frame
+            for i in range(RESERVATION_PAGES)
+        ]
+        assert frames == list(range(frames[0], frames[0] + RESERVATION_PAGES))
+        assert frames[0] % RESERVATION_PAGES == 0
+
+    def test_full_group_deletes_part_entry(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        for i in range(RESERVATION_PAGES):
+            kernel.handle_fault(p, base + i)
+        from repro.units import reservation_group
+
+        assert p.part.lookup(reservation_group(base)) is None
+
+    def test_reserved_frames_tagged(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        outcome = kernel.handle_fault(p, vma.start_vpn)
+        reservation = next(p.part.iter_reservations())
+        for frame in reservation.unmapped_frames():
+            assert kernel.memory.state_of(frame) is FrameState.RESERVED
+        assert kernel.memory.state_of(outcome.frame) is FrameState.USER
+
+    def test_cgroup_gating(self):
+        kernel = make_kernel(
+            ptemagnet=True, ptemagnet_memory_limit_bytes=16 * MB
+        )
+        small = kernel.create_process("small", memory_limit_bytes=1 * MB)
+        big = kernel.create_process("big", memory_limit_bytes=64 * MB)
+        assert small.part is None
+        assert big.part is not None
+        # The gated-out process falls back to the default path.
+        vma = kernel.mmap(small, 8)
+        outcome = kernel.handle_fault(small, vma.start_vpn)
+        assert outcome.kind is FaultKind.DEFAULT
+
+
+class TestFree:
+    def test_munmap_returns_frames(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 16)
+        for vpn in vma.pages():
+            kernel.handle_fault(p, vpn)
+        free_before = kernel.buddy.free_frames
+        released = kernel.munmap(p, vma.start_vpn, 16)
+        assert released == 16
+        assert kernel.buddy.free_frames > free_before
+        assert p.rss_pages == 0
+
+    def test_munmap_unfaulted_pages_release_nothing(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 16)
+        assert kernel.munmap(p, vma.start_vpn, 16) == 0
+
+    def test_free_all_of_group_deletes_reservation(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        kernel.handle_fault(p, base)
+        free_before = kernel.buddy.free_frames
+        kernel.munmap(p, base, 1)  # frees the only mapped page
+        # Reservation deleted: all 8 frames returned (plus any PT node
+        # frames pruned by the unmap).
+        assert kernel.buddy.free_frames >= free_before + RESERVATION_PAGES
+        assert len(p.part) == 0
+
+    def test_partial_free_keeps_reservation(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        kernel.handle_fault(p, base)
+        kernel.handle_fault(p, base + 1)
+        kernel.munmap(p, base, 1)
+        assert len(p.part) == 1
+        reservation = next(p.part.iter_reservations())
+        assert reservation.mapped_count == 1
+
+    def test_refault_after_partial_free_reuses_reserved_frame(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        first = kernel.handle_fault(p, base)
+        kernel.handle_fault(p, base + 1)
+        kernel.munmap(p, base, 1)
+        # A later fault elsewhere in the group is served from the same
+        # reservation, preserving contiguity.
+        refault = kernel.handle_fault(p, base + 2)
+        assert refault.frame == first.frame + 2
+
+
+class TestStats:
+    def test_fault_kind_counters(self):
+        kernel = make_kernel(ptemagnet=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        for i in range(RESERVATION_PAGES):
+            kernel.handle_fault(p, base + i)
+        assert kernel.stats.reservation_new_faults == 1
+        assert kernel.stats.reservation_hit_faults == RESERVATION_PAGES - 1
+        assert kernel.stats.faults == RESERVATION_PAGES

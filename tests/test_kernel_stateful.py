@@ -1,0 +1,193 @@
+"""Property-based stateful testing of the guest kernel.
+
+A hypothesis rule-based state machine drives random sequences of the
+kernel's public operations -- process creation/exit, mmap, page faults,
+partial munmap, fork, COW writes, reservation reclaim -- against every
+allocator mode, and checks global invariants after each step:
+
+* frame conservation: free + allocated-to-someone == total;
+* no frame is mapped by two processes unless COW-shared with a refcount;
+* buddy free lists stay aligned and disjoint (allocator self-check);
+* PTEMagnet: every live reservation's unmapped frames are RESERVED and
+  not mapped anywhere; PaRT entry counts match tree contents;
+* mapped page counts equal page-table contents.
+"""
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.config import GuestConfig, MachineConfig
+from repro.errors import OutOfMemoryError, SegmentationFault
+from repro.mem.physical import FrameState
+from repro.os.fork import fork
+from repro.os.kernel import GuestKernel
+from repro.units import MB
+
+
+class KernelMachine(RuleBasedStateMachine):
+    allocator_mode = "default"
+
+    @initialize()
+    def setup(self):
+        config = GuestConfig(memory_bytes=8 * MB).with_allocator(
+            self.allocator_mode
+        )
+        self.kernel = GuestKernel(config, MachineConfig(), random.Random(7))
+        self.procs = []
+        self.regions = []  # (process, vma)
+
+    # ------------------------------------------------------------------ #
+    # Rules
+    # ------------------------------------------------------------------ #
+
+    @rule()
+    def create_process(self):
+        if len(self.procs) >= 6:
+            return
+        self.procs.append(self.kernel.create_process(f"p{len(self.procs)}"))
+
+    @precondition(lambda self: self.procs)
+    @rule(npages=st.integers(min_value=1, max_value=600), idx=st.integers(0, 5))
+    def mmap(self, npages, idx):
+        process = self.procs[idx % len(self.procs)]
+        vma = self.kernel.mmap(process, npages)
+        self.regions.append((process, vma))
+
+    @precondition(lambda self: self.regions)
+    @rule(ridx=st.integers(0, 50), offset=st.integers(0, 1000), write=st.booleans())
+    def fault(self, ridx, offset, write):
+        process, vma = self.regions[ridx % len(self.regions)]
+        if not process.alive:
+            return
+        vpn = vma.start_vpn + offset % vma.npages
+        if process.address_space.find(vpn) is None:
+            return  # partially munmapped
+        try:
+            self.kernel.handle_fault(process, vpn, write)
+        except OutOfMemoryError:
+            pass
+
+    @precondition(lambda self: self.regions)
+    @rule(ridx=st.integers(0, 50), offset=st.integers(0, 1000), count=st.integers(1, 64))
+    def munmap(self, ridx, offset, count):
+        process, vma = self.regions[ridx % len(self.regions)]
+        if not process.alive:
+            return
+        start = vma.start_vpn + offset % vma.npages
+        npages = min(count, vma.end_vpn - start)
+        self.kernel.munmap(process, start, npages)
+
+    @precondition(lambda self: self.procs)
+    @rule(idx=st.integers(0, 5))
+    def do_fork(self, idx):
+        if len(self.procs) >= 6:
+            return
+        parent = self.procs[idx % len(self.procs)]
+        if not parent.alive:
+            return
+        child = fork(self.kernel, parent)
+        self.procs.append(child)
+        for vma in child.address_space:
+            self.regions.append((child, vma))
+
+    @precondition(lambda self: self.procs)
+    @rule(idx=st.integers(0, 5))
+    def exit_process(self, idx):
+        process = self.procs[idx % len(self.procs)]
+        if not process.alive:
+            return
+        # Exiting a parent whose children still share COW frames is fine;
+        # refcounts keep shared frames alive.
+        self.kernel.exit_process(process)
+
+    @rule()
+    def reclaim(self):
+        self.kernel.run_reclaim()
+
+    # ------------------------------------------------------------------ #
+    # Invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def buddy_self_check(self):
+        self.kernel.buddy.check_invariants()
+
+    @invariant()
+    def frame_conservation(self):
+        memory = self.kernel.memory
+        non_free = sum(
+            1
+            for frame in range(memory.num_frames)
+            if not memory.is_free(frame)
+        )
+        assert non_free + self.kernel.buddy.free_frames == memory.num_frames
+
+    @invariant()
+    def mapped_counts_match_tables(self):
+        for process in self.kernel.processes.values():
+            counted = sum(1 for _ in process.page_table.iter_mappings())
+            assert counted == process.page_table.mapped_pages
+
+    @invariant()
+    def no_unshared_double_mapping(self):
+        owners = {}
+        for process in self.kernel.processes.values():
+            for _vpn, pte in process.page_table.iter_mappings():
+                frame = pte >> 12
+                owners.setdefault(frame, []).append(process.pid)
+        for frame, pids in owners.items():
+            if len(pids) > 1:
+                refs = self.kernel._refcount.get(frame, 1)
+                assert refs >= len(pids), (
+                    f"frame {frame} mapped by {pids} with refcount {refs}"
+                )
+
+    @invariant()
+    def reservations_consistent(self):
+        for process in self.kernel.processes.values():
+            if process.part is None:
+                continue
+            for reservation in process.part.iter_reservations():
+                for frame in reservation.unmapped_frames():
+                    state = self.kernel.memory.state_of(frame)
+                    assert state is FrameState.RESERVED, (
+                        f"unmapped reserved frame {frame} in state {state}"
+                    )
+
+
+class TestDefaultKernelStateful(KernelMachine.TestCase):
+    settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+
+class PTEMagnetMachine(KernelMachine):
+    allocator_mode = "ptemagnet"
+
+
+class TestPTEMagnetKernelStateful(PTEMagnetMachine.TestCase):
+    settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+
+class ThpMachine(KernelMachine):
+    allocator_mode = "thp"
+
+
+class TestThpKernelStateful(ThpMachine.TestCase):
+    settings = settings(max_examples=20, stateful_step_count=30, deadline=None)
+
+
+class CaMachine(KernelMachine):
+    allocator_mode = "ca"
+
+
+class TestCaKernelStateful(CaMachine.TestCase):
+    settings = settings(max_examples=20, stateful_step_count=30, deadline=None)

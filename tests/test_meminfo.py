@@ -1,0 +1,76 @@
+"""Tests for the kernel's meminfo accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GuestConfig, MachineConfig
+from repro.os.kernel import GuestKernel
+from repro.units import MB
+
+
+def total_accounted(info):
+    return (
+        info["free"]
+        + info["pcp_cached"]
+        + info["user"]
+        + info["page_tables"]
+        + info["reserved"]
+        + info["kernel"]
+    )
+
+
+def make_kernel(**kwargs):
+    return GuestKernel(GuestConfig(memory_bytes=16 * MB, **kwargs), MachineConfig())
+
+
+class TestMeminfo:
+    def test_boot_state(self):
+        kernel = make_kernel()
+        info = kernel.meminfo()
+        assert info["total"] == 4096
+        assert info["user"] == 0
+        assert total_accounted(info) == info["total"]
+
+    def test_accounting_balances_after_activity(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 200)
+        for vpn in vma.pages():
+            kernel.handle_fault(p, vpn)
+        kernel.munmap(p, vma.start_vpn, 50)
+        info = kernel.meminfo()
+        assert info["user"] == 150
+        assert info["page_tables"] > 0
+        assert total_accounted(info) == info["total"]
+
+    def test_reserved_pages_reported(self):
+        kernel = make_kernel(ptemagnet_enabled=True)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        kernel.handle_fault(p, vma.start_vpn)
+        info = kernel.meminfo()
+        assert info["reserved"] == 7
+        assert total_accounted(info) == info["total"]
+
+    def test_pcp_cached_reported(self):
+        config = dataclasses.replace(
+            GuestConfig(memory_bytes=16 * MB), pcp_enabled=True
+        )
+        kernel = GuestKernel(config, MachineConfig())
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 4)
+        kernel.handle_fault(p, vma.start_vpn)
+        info = kernel.meminfo()
+        assert info["pcp_cached"] > 0
+        assert total_accounted(info) == info["total"]
+
+    def test_exit_restores_boot_accounting(self):
+        kernel = make_kernel(ptemagnet_enabled=True)
+        boot = kernel.meminfo()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 128)
+        for vpn in vma.pages():
+            kernel.handle_fault(p, vpn)
+        kernel.exit_process(p)
+        assert kernel.meminfo() == boot

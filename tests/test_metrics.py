@@ -1,0 +1,146 @@
+"""Tests for the fragmentation metric, counters and report rendering."""
+
+import pytest
+
+from repro.metrics.counters import MetricDelta, PerfCounters, percent_change
+from repro.metrics.fragmentation import (
+    fragmented_group_fraction,
+    group_block_counts,
+    host_pt_fragmentation,
+)
+from repro.metrics.report import Table, format_percent, render_series
+from repro.os.process import Process
+from repro.pagetable.radix import PageTable
+
+
+class FrameSource:
+    def __init__(self):
+        self.next = 10000
+
+    def alloc(self):
+        frame = self.next
+        self.next += 1
+        return frame
+
+
+def make_process():
+    return Process(1, "test", PageTable(FrameSource().alloc))
+
+
+class TestHostPtFragmentation:
+    def test_empty_process(self):
+        assert host_pt_fragmentation(make_process()) == 0.0
+
+    def test_perfectly_contiguous_group_scores_one(self):
+        p = make_process()
+        for i in range(8):
+            p.page_table.map(0x1000 + i, 800 + i)  # aligned contiguous gfns
+        assert host_pt_fragmentation(p) == 1.0
+
+    def test_fully_scattered_group_scores_eight(self):
+        p = make_process()
+        for i in range(8):
+            p.page_table.map(0x1000 + i, 1000 * i)  # one block each
+        assert host_pt_fragmentation(p) == 8.0
+
+    def test_contiguous_but_misaligned_scores_two(self):
+        p = make_process()
+        for i in range(8):
+            p.page_table.map(0x1000 + i, 804 + i)  # straddles two blocks
+        assert host_pt_fragmentation(p) == 2.0
+
+    def test_partial_groups_skipped_by_default(self):
+        p = make_process()
+        for i in range(4):  # only half a group
+            p.page_table.map(0x1000 + i, 1000 * i)
+        assert host_pt_fragmentation(p) == 0.0
+        assert host_pt_fragmentation(p, min_mapped=4) == 4.0
+
+    def test_average_over_groups(self):
+        p = make_process()
+        for i in range(8):
+            p.page_table.map(0x1000 + i, 800 + i)  # 1 block
+        for i in range(8):
+            p.page_table.map(0x2000 + i, 2000 * i)  # 8 blocks
+        assert host_pt_fragmentation(p) == pytest.approx(4.5)
+
+    def test_group_block_counts(self):
+        p = make_process()
+        for i in range(8):
+            p.page_table.map(0x1000 + i, 800 + i)
+        assert group_block_counts(p) == [1]
+
+
+class TestFragmentedGroupFraction:
+    def test_no_groups(self):
+        assert fragmented_group_fraction(make_process()) == 0.0
+
+    def test_mixed(self):
+        p = make_process()
+        for i in range(8):
+            p.page_table.map(0x1000 + i, 800 + i)  # contiguous
+        for i in range(8):
+            p.page_table.map(0x2000 + i, 5000 * i)  # 8 distinct blocks
+        assert fragmented_group_fraction(p) == pytest.approx(0.5)
+
+
+class TestCounters:
+    def test_percent_change(self):
+        assert percent_change(100, 111) == pytest.approx(11.0)
+        assert percent_change(100, 50) == pytest.approx(-50.0)
+        assert percent_change(0, 0) == 0.0
+        assert percent_change(0, 5) == float("inf")
+
+    def test_derived_rates(self):
+        c = PerfCounters(accesses=100, tlb_misses=10)
+        assert c.tlb_miss_rate == pytest.approx(0.1)
+        c = PerfCounters(gpt_accesses=10, gpt_memory_accesses=5)
+        assert c.gpt_memory_fraction == pytest.approx(0.5)
+        assert PerfCounters().tlb_miss_rate == 0.0
+        assert PerfCounters().hpt_memory_fraction == 0.0
+
+    def test_miss_ratio(self):
+        c = PerfCounters(gpt_memory_accesses=10, hpt_memory_accesses=44)
+        assert c.host_to_guest_memory_miss_ratio == pytest.approx(4.4)
+        c = PerfCounters(hpt_memory_accesses=3)
+        assert c.host_to_guest_memory_miss_ratio == float("inf")
+
+    def test_metric_delta(self):
+        delta = MetricDelta("Execution time", 100, 111)
+        assert delta.change_percent == pytest.approx(11.0)
+        assert "+11%" in delta.formatted()
+
+
+class TestReport:
+    def test_format_percent(self):
+        assert format_percent(11.04) == "+11.0%"
+        assert format_percent(-65.9) == "-65.9%"
+        assert format_percent(float("inf")) == "+inf%"
+
+    def test_table_rendering(self):
+        table = Table(["A", "Metric"], title="T")
+        table.add_row("x", 1)
+        table.add_row("longer", 2.5)
+        text = table.render()
+        assert "T" in text
+        assert "longer" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_table_arity_checked(self):
+        table = Table(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_render_series(self):
+        text = render_series("S", [("a", 5.0), ("bb", -2.5)])
+        assert "S" in text and "a" in text and "bb" in text
+        assert "#" in text
+
+    def test_render_series_empty(self):
+        assert "no data" in render_series("S", [])
+
+    def test_render_series_all_zero(self):
+        # Must not divide by zero.
+        text = render_series("S", [("a", 0.0)])
+        assert "0.00" in text

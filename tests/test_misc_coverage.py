@@ -1,0 +1,92 @@
+"""Coverage for smaller public surfaces: errors, descriptions, results."""
+
+import pytest
+
+from repro import __version__
+from repro.errors import (
+    AllocationError,
+    InvalidAddressError,
+    OutOfMemoryError,
+    PageTableError,
+    ProtectionFault,
+    ReproError,
+    ReservationError,
+    SegmentationFault,
+    SimulationError,
+    WorkloadError,
+)
+from repro.metrics.counters import PerfCounters
+from repro.sim.results import RunResult, SimulationResult
+from repro.os.kernel import KernelStats
+from repro.virt.hypervisor import HostStats
+from repro.workloads import BENCHMARKS, CO_RUNNERS, make_benchmark, make_corunner
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            OutOfMemoryError,
+            InvalidAddressError,
+            SegmentationFault,
+            ProtectionFault,
+            AllocationError,
+            PageTableError,
+            ReservationError,
+            SimulationError,
+            WorkloadError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise OutOfMemoryError("boom")
+
+
+class TestVersion:
+    def test_semver_shape(self):
+        parts = __version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestWorkloadDescriptions:
+    def test_every_registered_workload_has_description(self):
+        for name in list(BENCHMARKS) + list(CO_RUNNERS):
+            factory = BENCHMARKS.get(name)
+            workload = (
+                make_benchmark(name) if factory else make_corunner(name)
+            )
+            assert workload.description
+            assert len(workload.description) < 200
+
+    def test_seeded_factories_are_deterministic(self):
+        a = make_benchmark("mcf", seed=5)
+        b = make_benchmark("mcf", seed=5)
+        assert list(a.ops()) == list(b.ops())
+
+
+class TestResultRecords:
+    def make_result(self):
+        return RunResult(
+            name="x",
+            counters=PerfCounters(cycles=100),
+            rss_pages=10,
+            faults_total=5,
+            reservation_hits=2,
+            ops_executed=50,
+        )
+
+    def test_run_result_cycles(self):
+        assert self.make_result().cycles == 100
+
+    def test_simulation_result_lookup(self):
+        bundle = SimulationResult(
+            runs=[self.make_result()],
+            kernel_stats=KernelStats(),
+            host_stats=HostStats(),
+            turns=7,
+        )
+        assert bundle.run("x").rss_pages == 10
+        assert bundle.run("missing") is None
+        assert bundle.turns == 7
+        assert bundle.notes == []

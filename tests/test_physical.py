@@ -1,0 +1,74 @@
+"""Tests for the physical-memory frame bookkeeping."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.mem.physical import FrameState, PhysicalMemory
+
+
+class TestConstruction:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+    def test_size_bytes(self):
+        mem = PhysicalMemory(100)
+        assert mem.size_bytes == 100 * 4096
+
+    def test_all_frames_start_free(self):
+        mem = PhysicalMemory(16)
+        assert all(mem.is_free(frame) for frame in range(16))
+
+
+class TestStateTransitions:
+    def test_set_and_query_state(self):
+        mem = PhysicalMemory(16)
+        mem.set_state(3, FrameState.USER, owner=42)
+        assert mem.state_of(3) is FrameState.USER
+        assert mem.owner_of(3) == 42
+
+    def test_free_clears_owner(self):
+        mem = PhysicalMemory(16)
+        mem.set_state(3, FrameState.USER, owner=42)
+        mem.set_state(3, FrameState.FREE)
+        assert mem.is_free(3)
+        assert mem.owner_of(3) is None
+
+    def test_set_range_state(self):
+        mem = PhysicalMemory(16)
+        mem.set_range_state(4, 4, FrameState.RESERVED, owner=1)
+        assert all(
+            mem.state_of(frame) is FrameState.RESERVED for frame in range(4, 8)
+        )
+
+    def test_state_change_without_owner_clears_owner(self):
+        mem = PhysicalMemory(16)
+        mem.set_state(5, FrameState.USER, owner=9)
+        mem.set_state(5, FrameState.RESERVED)
+        assert mem.owner_of(5) is None
+
+    def test_out_of_range_raises(self):
+        mem = PhysicalMemory(16)
+        with pytest.raises(InvalidAddressError):
+            mem.state_of(16)
+        with pytest.raises(InvalidAddressError):
+            mem.set_state(-1, FrameState.USER)
+
+
+class TestCountsAndScans:
+    def test_count_in_state(self):
+        mem = PhysicalMemory(16)
+        mem.set_range_state(0, 3, FrameState.PAGE_TABLE)
+        assert mem.count_in_state(FrameState.PAGE_TABLE) == 3
+        assert mem.count_in_state(FrameState.FREE) == 13
+
+    def test_frames_in_state(self):
+        mem = PhysicalMemory(8)
+        mem.set_state(2, FrameState.KERNEL)
+        mem.set_state(5, FrameState.KERNEL)
+        assert sorted(mem.frames_in_state(FrameState.KERNEL)) == [2, 5]
+
+    def test_frames_in_free_state(self):
+        mem = PhysicalMemory(4)
+        mem.set_state(1, FrameState.USER)
+        assert sorted(mem.frames_in_state(FrameState.FREE)) == [0, 2, 3]

@@ -1,0 +1,156 @@
+"""Tests for reservation reclamation (§4.3) and the swap daemon."""
+
+import random
+
+import pytest
+
+from repro.config import GuestConfig, MachineConfig
+from repro.core.reclaimer import ReservationReclaimer
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.physical import PhysicalMemory
+from repro.os.kernel import GuestKernel
+from repro.os.reclaim import SwapDaemon
+from repro.units import MB, RESERVATION_PAGES
+
+
+def make_kernel(memory_mb=8, threshold=0.25):
+    return GuestKernel(
+        GuestConfig(
+            memory_bytes=memory_mb * MB,
+            ptemagnet_enabled=True,
+            reclaim_threshold=threshold,
+        ),
+        MachineConfig(),
+        rng=random.Random(7),
+    )
+
+
+class TestReservationReclaimer:
+    def test_no_pressure_no_reclaim(self):
+        kernel = make_kernel()
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        kernel.handle_fault(p, vma.start_vpn)
+        report = kernel.run_reclaim()
+        assert not report.invoked
+        assert len(p.part) == 1
+
+    def test_pressure_releases_unmapped_reserved_pages(self):
+        kernel = make_kernel(memory_mb=8, threshold=0.995)  # always pressured
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        kernel.handle_fault(p, vma.start_vpn)  # 1 mapped + 7 reserved
+        free_before = kernel.buddy.free_frames
+        report = kernel.run_reclaim()
+        assert report.invoked
+        assert report.pages_released == RESERVATION_PAGES - 1
+        assert kernel.buddy.free_frames == free_before + 7
+        assert len(p.part) == 0
+
+    def test_mapped_pages_survive_reclaim(self):
+        kernel = make_kernel(threshold=0.995)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        outcome = kernel.handle_fault(p, vma.start_vpn)
+        kernel.run_reclaim()
+        # The mapped page keeps its translation; the app never notices.
+        assert p.page_table.translate(vma.start_vpn) == outcome.frame
+
+    def test_reclaim_stops_when_pressure_relieved(self):
+        memory = PhysicalMemory(1024, "t")
+        buddy = BuddyAllocator(memory)
+        # Consume most memory so free fraction is just below threshold.
+        held = [buddy.alloc_frame() for _ in range(700)]
+        reclaimer = ReservationReclaimer(buddy, 0.30, random.Random(1))
+        from repro.core.part import PageReservationTable
+        from repro.core.reservation import Reservation
+
+        part = PageReservationTable()
+        for i in range(4):
+            base = buddy.alloc(3)
+            buddy.split_allocation(base)
+            entry = Reservation(group=i, base_frame=base)
+            entry.map_slot(0)
+            part.insert(entry)
+        report = reclaimer.maybe_reclaim({1: part})
+        assert report.invoked
+        # Once above the watermark, remaining reservations are kept.
+        assert buddy.free_fraction >= 0.30
+        assert len(part) < 4
+        assert len(part) > 0
+
+    def test_threshold_validation(self):
+        memory = PhysicalMemory(64, "t")
+        buddy = BuddyAllocator(memory)
+        with pytest.raises(ValueError):
+            ReservationReclaimer(buddy, 1.5, random.Random(0))
+
+    def test_faults_after_reclaim_take_default_or_new_path(self):
+        kernel = make_kernel(threshold=0.995)
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 64)
+        kernel.handle_fault(p, vma.start_vpn)
+        kernel.run_reclaim()
+        # Next fault in the same group cannot hit the deleted reservation.
+        outcome = kernel.handle_fault(p, vma.start_vpn + 1)
+        assert outcome.kind.value in ("reservation_new", "fallback", "default")
+
+
+class TestSwapDaemon:
+    def test_no_eviction_above_floor(self):
+        kernel = make_kernel()
+        daemon = SwapDaemon(kernel, floor=0.01, rng=random.Random(3))
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 8)
+        kernel.handle_fault(p, vma.start_vpn)
+        report = daemon.maybe_evict()
+        assert report.pages_evicted == 0
+
+    def test_eviction_under_pressure(self):
+        kernel = make_kernel(memory_mb=8)
+        daemon = SwapDaemon(kernel, floor=0.99, rng=random.Random(3))
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 32)
+        for vpn in vma.pages():
+            kernel.handle_fault(p, vpn)
+        report = daemon.maybe_evict(batch_pages=8)
+        assert report.pages_evicted == 8
+        assert report.victim_pid == p.pid
+        assert p.rss_pages == 24
+
+    def test_evicted_pages_refault(self):
+        kernel = make_kernel(memory_mb=8)
+        daemon = SwapDaemon(kernel, floor=0.99, rng=random.Random(3))
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, 8)
+        for vpn in vma.pages():
+            kernel.handle_fault(p, vpn)
+        daemon.maybe_evict(batch_pages=4)
+        # The VMA is intact, so the page faults back in on next access.
+        victim_vpn = next(
+            vpn for vpn in vma.pages() if not p.page_table.is_mapped(vpn)
+        )
+        outcome = kernel.handle_fault(p, victim_vpn)
+        assert p.page_table.is_mapped(victim_vpn)
+
+    def test_floor_validation(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError):
+            SwapDaemon(kernel, floor=2.0, rng=random.Random(0))
+
+    def test_swap_of_reserved_page_releases_reservation(self):
+        """§4.4: choosing a reserved page for swap reclaims the whole
+        reservation first."""
+        kernel = make_kernel(memory_mb=8)
+        daemon = SwapDaemon(kernel, floor=0.99, rng=random.Random(3))
+        p = kernel.create_process("app")
+        vma = kernel.mmap(p, RESERVATION_PAGES * 2)
+        base = ((vma.start_vpn // RESERVATION_PAGES) + 1) * RESERVATION_PAGES
+        kernel.handle_fault(p, base)  # 1 mapped + 7 reserved
+        assert len(p.part) == 1
+        free_before = kernel.buddy.free_frames
+        report = daemon.maybe_evict(batch_pages=1)
+        assert report.pages_evicted == 1
+        assert len(p.part) == 0  # reservation reclaimed
+        # 7 unmapped reserved frames + the evicted page (+ pruned PT nodes).
+        assert kernel.buddy.free_frames >= free_before + RESERVATION_PAGES

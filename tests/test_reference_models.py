@@ -1,0 +1,162 @@
+"""Reference-model equivalence tests.
+
+The set-associative cache and TLB are checked against brutally simple
+reference implementations (per-set LRU lists) over hypothesis-generated
+access traces. If the optimised structures ever diverge from the
+reference semantics, these tests localise it.
+"""
+
+from collections import OrderedDict
+from typing import Dict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, TlbConfig
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.tlb.tlb import Tlb
+from repro.units import KB
+
+
+class RefCache:
+    """Reference set-associative LRU cache (block -> presence)."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets: Dict[int, OrderedDict] = {
+            i: OrderedDict() for i in range(num_sets)
+        }
+
+    def access(self, block: int) -> bool:
+        entries = self.sets[block % self.num_sets]
+        if block in entries:
+            entries.move_to_end(block)
+            return True
+        return False
+
+    def fill(self, block: int) -> None:
+        entries = self.sets[block % self.num_sets]
+        if block in entries:
+            entries.move_to_end(block)
+            return
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[block] = True
+
+
+class TestCacheAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["access", "fill", "invalidate"]),
+                st.integers(min_value=0, max_value=300),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_equivalence(self, trace):
+        config = CacheConfig("T", 4 * KB, 2, 1)  # 32 sets x 2 ways
+        cache = SetAssociativeCache(config)
+        ref = RefCache(cache.num_sets, config.associativity)
+        for action, block in trace:
+            if action == "access":
+                assert cache.access(block) == ref.access(block)
+                # Mirror the hierarchy's fill-on-miss behaviour.
+                if not cache.contains(block):
+                    cache.fill(block)
+                    ref.fill(block)
+            elif action == "fill":
+                cache.fill(block)
+                ref.fill(block)
+            else:
+                cache.invalidate(block)
+                entries = ref.sets[block % ref.num_sets]
+                entries.pop(block, None)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2000), max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = SetAssociativeCache(CacheConfig("T", 4 * KB, 4, 1))
+        for block in blocks:
+            cache.fill(block)
+        assert cache.occupancy() <= (4 * KB) // 64
+
+
+class RefTlb:
+    """Reference set-associative LRU TLB (vpn -> frame)."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets: Dict[int, OrderedDict] = {
+            i: OrderedDict() for i in range(num_sets)
+        }
+
+    def lookup(self, vpn: int):
+        entries = self.sets[vpn % self.num_sets]
+        if vpn in entries:
+            entries.move_to_end(vpn)
+            return entries[vpn]
+        return None
+
+    def insert(self, vpn: int, frame: int) -> None:
+        entries = self.sets[vpn % self.num_sets]
+        if vpn in entries:
+            del entries[vpn]
+        elif len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[vpn] = frame
+
+
+class TestTlbAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["lookup", "insert", "invalidate"]),
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_equivalence(self, trace):
+        tlb = Tlb(TlbConfig("T", 16, 4))
+        ref = RefTlb(tlb.num_sets, 4)
+        for action, vpn, frame in trace:
+            if action == "lookup":
+                assert tlb.lookup(vpn) == ref.lookup(vpn)
+            elif action == "insert":
+                tlb.insert(vpn, frame)
+                ref.insert(vpn, frame)
+            else:
+                tlb.invalidate(vpn)
+                ref.sets[vpn % ref.num_sets].pop(vpn, None)
+
+
+class TestWalkConsistency:
+    """The walker must agree with direct page-table lookups, always."""
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=(1 << 27) - 1),
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            max_size=40,
+        ),
+        st.lists(st.integers(min_value=0, max_value=(1 << 27) - 1), max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_walker_matches_translate(self, mapping, probes):
+        from repro.cache.pwc import PageWalkCache
+        from repro.pagetable.radix import PageTable
+        from repro.pagetable.walker import PageWalker
+
+        counter = iter(range(100000, 200000))
+        table = PageTable(lambda: next(counter))
+        for vpn, pfn in mapping.items():
+            table.map(vpn, pfn)
+        walker = PageWalker(table, lambda a, s: 1, pwc=PageWalkCache(4))
+        for vpn in list(mapping) + probes:
+            assert walker.walk(vpn).frame == table.translate(vpn)

@@ -1,0 +1,67 @@
+"""Tests for the experiment-runner CLI and the percentile helper."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.metrics.counters import percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7], 0.99) == 7.0
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3.0
+
+    def test_tail(self):
+        values = list(range(100))
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 0.0) == 0.0
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 0.5) == 3.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestRunnerCli:
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "baselines",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "sec62",
+            "sec64",
+        }
+
+    def test_table2_runs_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert main(["--experiment", "table2", "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "Table 2" in printed
+        payload = json.loads(out.read_text())
+        assert "table2" in payload
+        assert "Guest memory" in payload["table2"]
+
+    def test_table3_payload_structure(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert main(["--experiment", "table3", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["table3"]["pagerank"]["role"] == "benchmark"
+        assert payload["table3"]["objdet"]["role"] == "co-runner"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "bogus"])

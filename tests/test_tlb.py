@@ -1,0 +1,116 @@
+"""Tests for the TLB hierarchy."""
+
+import pytest
+
+from repro.config import TlbConfig
+from repro.tlb.tlb import Tlb, TlbHierarchy
+
+
+def small_tlb(entries=8, assoc=2):
+    return Tlb(TlbConfig("T", entries, assoc))
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = small_tlb()
+        assert tlb.lookup(5) is None
+        tlb.insert(5, 99)
+        assert tlb.lookup(5) == 99
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_within_set(self):
+        tlb = small_tlb(entries=4, assoc=2)  # 2 sets
+        a, b, c = 0, 2, 4  # same set (vpn % 2 == 0)
+        tlb.insert(a, 1)
+        tlb.insert(b, 2)
+        tlb.lookup(a)  # a MRU
+        victim = tlb.insert(c, 3)
+        assert victim == (b, 2)
+        assert tlb.lookup(a) == 1
+        assert tlb.lookup(b) is None
+
+    def test_insert_refreshes_existing(self):
+        tlb = small_tlb(entries=4, assoc=2)
+        tlb.insert(0, 1)
+        tlb.insert(0, 7)  # update, not duplicate
+        assert tlb.lookup(0) == 7
+        assert tlb.occupancy() == 1
+
+    def test_invalidate(self):
+        tlb = small_tlb()
+        tlb.insert(3, 8)
+        assert tlb.invalidate(3)
+        assert tlb.lookup(3) is None
+        assert not tlb.invalidate(3)
+
+    def test_flush(self):
+        tlb = small_tlb()
+        for vpn in range(8):
+            tlb.insert(vpn, vpn)
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TlbConfig("bad", 7, 2)
+        with pytest.raises(ValueError):
+            TlbConfig("bad", 0, 1)
+
+    def test_miss_rate(self):
+        tlb = small_tlb()
+        tlb.lookup(1)
+        tlb.insert(1, 1)
+        tlb.lookup(1)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+
+class TestTlbHierarchy:
+    def make(self):
+        return TlbHierarchy(
+            TlbConfig("L1", 4, 2), TlbConfig("L2", 16, 4)
+        )
+
+    def test_insert_populates_both_levels(self):
+        h = self.make()
+        h.insert(5, 10)
+        assert h.l1.lookup(5) == 10
+        assert h.l2.lookup(5) == 10
+
+    def test_l2_hit_promotes_to_l1(self):
+        h = self.make()
+        h.l2.insert(7, 70)
+        assert h.lookup(7) == 70  # L1 miss, L2 hit
+        assert h.l1.lookup(7) == 70  # promoted
+
+    def test_full_miss(self):
+        h = self.make()
+        assert h.lookup(9) is None
+        assert h.misses == 1
+
+    def test_invalidate_both(self):
+        h = self.make()
+        h.insert(3, 30)
+        h.invalidate(3)
+        assert h.lookup(3) is None
+
+    def test_flush_both(self):
+        h = self.make()
+        h.insert(1, 1)
+        h.flush()
+        assert h.lookup(1) is None
+
+    def test_miss_rate_counts_full_misses_only(self):
+        h = self.make()
+        h.insert(1, 1)
+        h.lookup(1)  # L1 hit
+        h.lookup(2)  # full miss
+        assert h.lookups == 2
+        assert h.misses == 1
+        assert h.miss_rate == pytest.approx(0.5)
+
+    def test_l1_eviction_still_served_by_l2(self):
+        h = self.make()
+        # Fill one L1 set (2 sets, assoc 2) past capacity.
+        for vpn in (0, 2, 4):
+            h.insert(vpn, vpn + 100)
+        assert h.lookup(0) == 100  # evicted from L1, but L2 holds it

@@ -1,0 +1,99 @@
+"""Tests for architectural constants and address helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_page_geometry(self):
+        assert units.PAGE_SIZE == 4096
+        assert 1 << units.PAGE_SHIFT == units.PAGE_SIZE
+
+    def test_cache_block_geometry(self):
+        assert units.CACHE_BLOCK_SIZE == 64
+        assert 1 << units.CACHE_BLOCK_SHIFT == units.CACHE_BLOCK_SIZE
+
+    def test_ptes_per_cache_block_is_eight(self):
+        # The constant the whole paper rests on.
+        assert units.PTES_PER_CACHE_BLOCK == 8
+
+    def test_reservation_is_one_pte_block(self):
+        assert units.RESERVATION_PAGES == units.PTES_PER_CACHE_BLOCK
+        assert units.RESERVATION_BYTES == 32 * 1024
+        assert 1 << units.RESERVATION_ORDER == units.RESERVATION_PAGES
+
+    def test_va_bits_is_48(self):
+        assert units.VA_BITS == 48
+
+    def test_pt_fanout(self):
+        assert units.PTES_PER_NODE == 512
+        assert units.PTES_PER_NODE * units.PTE_SIZE == units.PAGE_SIZE
+
+
+class TestAddressHelpers:
+    def test_page_number_and_base(self):
+        addr = 5 * units.PAGE_SIZE + 123
+        assert units.page_number(addr) == 5
+        assert units.page_base(addr) == 5 * units.PAGE_SIZE
+        assert units.page_offset(addr) == 123
+
+    def test_block_number(self):
+        assert units.block_number(0) == 0
+        assert units.block_number(63) == 0
+        assert units.block_number(64) == 1
+
+    def test_reservation_group_helpers(self):
+        assert units.reservation_group(0) == 0
+        assert units.reservation_group(7) == 0
+        assert units.reservation_group(8) == 1
+        assert units.reservation_base_vpn(13) == 8
+        assert units.reservation_slot(13) == 5
+
+    def test_pte_address(self):
+        assert units.pte_address(2, 0) == 2 * units.PAGE_SIZE
+        assert units.pte_address(2, 3) == 2 * units.PAGE_SIZE + 24
+
+    def test_pages_for_bytes(self):
+        assert units.pages_for_bytes(0) == 0
+        assert units.pages_for_bytes(1) == 1
+        assert units.pages_for_bytes(units.PAGE_SIZE) == 1
+        assert units.pages_for_bytes(units.PAGE_SIZE + 1) == 2
+
+    def test_align_helpers(self):
+        assert units.align_up(5, 8) == 8
+        assert units.align_up(8, 8) == 8
+        assert units.align_down(5, 8) == 0
+        assert units.align_down(8, 8) == 8
+
+
+class TestPtIndices:
+    def test_zero(self):
+        assert units.pt_indices(0) == (0, 0, 0, 0)
+
+    def test_leaf_index_is_low_bits(self):
+        assert units.pt_indices(5) == (0, 0, 0, 5)
+        assert units.pt_indices(512) == (0, 0, 1, 0)
+
+    def test_all_levels(self):
+        vpn = (3 << 27) | (2 << 18) | (1 << 9) | 7
+        assert units.pt_indices(vpn) == (3, 2, 1, 7)
+
+    @given(st.integers(min_value=0, max_value=(1 << 36) - 1))
+    def test_roundtrip(self, vpn):
+        i4, i3, i2, i1 = units.pt_indices(vpn)
+        rebuilt = (((i4 << 9 | i3) << 9 | i2) << 9) | i1
+        assert rebuilt == vpn
+
+    @given(st.integers(min_value=0, max_value=(1 << 36) - 1))
+    def test_indices_in_range(self, vpn):
+        assert all(0 <= i < 512 for i in units.pt_indices(vpn))
+
+    def test_adjacent_pages_share_leaf_prefix(self):
+        # Pages in the same 8-page group differ only in the low 3 bits of
+        # the leaf index -> same PTE cache block.
+        base = 0x12340
+        indices = {units.pt_indices(base + i)[:3] for i in range(8)}
+        assert len(indices) == 1

@@ -1,0 +1,131 @@
+"""Tests for the 1D page walker, including PWC interaction."""
+
+import pytest
+
+from repro.cache.pwc import PageWalkCache
+from repro.pagetable.radix import PageTable
+from repro.units import PT_LEVELS
+
+
+class RecordingMemory:
+    """Memory-access stub recording (addr, stream) with fixed latency."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.accesses = []
+
+    def __call__(self, addr, stream):
+        self.accesses.append((addr, stream))
+        return self.latency
+
+
+class FrameSource:
+    def __init__(self):
+        self.next = 100
+
+    def alloc(self):
+        frame = self.next
+        self.next += 1
+        return frame
+
+
+@pytest.fixture
+def setup():
+    from repro.pagetable.walker import PageWalker
+
+    frames = FrameSource()
+    table = PageTable(frames.alloc)
+    memory = RecordingMemory()
+    walker = PageWalker(table, memory, stream="test")
+    return table, memory, walker
+
+
+class TestBasicWalk:
+    def test_walk_mapped_page(self, setup):
+        table, memory, walker = setup
+        table.map(0x123, 42)
+        result = walker.walk(0x123)
+        assert result.frame == 42
+        assert not result.faulted
+        assert result.accesses == PT_LEVELS
+        assert result.cycles == PT_LEVELS * memory.latency
+        assert result.deepest_level == 1
+
+    def test_walk_hole_faults(self, setup):
+        table, memory, walker = setup
+        result = walker.walk(0x123)
+        assert result.faulted
+        assert result.accesses == 1  # only the root is accessed
+
+    def test_partial_hole(self, setup):
+        table, memory, walker = setup
+        table.map(0x123, 42)
+        # Same root slot but missing deeper node.
+        result = walker.walk(0x123 + (1 << 18))
+        assert result.faulted
+        assert 1 < result.accesses <= PT_LEVELS
+
+    def test_stream_tag_passed(self, setup):
+        table, memory, walker = setup
+        table.map(1, 1)
+        walker.walk(1)
+        assert all(stream == "test" for _a, stream in memory.accesses)
+
+    def test_trace_recording(self, setup):
+        table, memory, walker = setup
+        table.map(7, 9)
+        result = walker.walk(7, record_trace=True)
+        assert len(result.trace) == PT_LEVELS
+        assert [level for level, _a, _l in result.trace] == [4, 3, 2, 1]
+
+    def test_stats_accumulate(self, setup):
+        table, memory, walker = setup
+        table.map(1, 1)
+        walker.walk(1)
+        walker.walk(1)
+        assert walker.walks == 2
+        assert walker.total_cycles == 2 * PT_LEVELS * memory.latency
+
+
+class TestWalkWithPwc:
+    def make(self, entries=8):
+        from repro.pagetable.walker import PageWalker
+
+        frames = FrameSource()
+        table = PageTable(frames.alloc)
+        memory = RecordingMemory()
+        pwc = PageWalkCache(entries)
+        walker = PageWalker(table, memory, pwc=pwc, stream="test")
+        return table, memory, walker
+
+    def test_second_walk_skips_upper_levels(self):
+        table, memory, walker = self.make()
+        table.map(0x123, 42)
+        first = walker.walk(0x123)
+        second = walker.walk(0x123)
+        assert first.accesses == PT_LEVELS
+        assert second.accesses == 1  # leaf-node PWC hit
+        assert second.frame == 42
+
+    def test_neighbour_page_reuses_leaf_node(self):
+        table, memory, walker = self.make()
+        table.map(0x100, 1)
+        table.map(0x101, 2)
+        walker.walk(0x100)
+        result = walker.walk(0x101)
+        assert result.accesses == 1
+
+    def test_distant_page_misses_pwc(self):
+        table, memory, walker = self.make()
+        table.map(0, 1)
+        table.map(1 << 27, 2)
+        walker.walk(0)
+        result = walker.walk(1 << 27)
+        assert result.accesses == PT_LEVELS
+
+    def test_pwc_hit_still_returns_correct_frame(self):
+        table, memory, walker = self.make()
+        for vpn in range(4):
+            table.map(vpn, 50 + vpn)
+        for vpn in range(4):
+            assert walker.walk(vpn).frame == 50 + vpn
