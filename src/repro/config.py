@@ -160,6 +160,11 @@ class GuestConfig:
     #: Per-CPU page caches (Linux pcp lists) in front of the buddy core;
     #: off by default, on for the pcp ablation.
     pcp_enabled: bool = False
+    #: Debug mode: run the :mod:`repro.invariants` runtime contracts
+    #: (buddy free-list disjointness, PaRT alignment, page-table level
+    #: consistency) after every page fault. O(live state) per fault; the
+    #: ``REPRO_INVARIANTS`` env flag enables the same checks globally.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         modes = sum(

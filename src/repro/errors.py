@@ -46,6 +46,15 @@ class ReservationError(ReproError):
     """Inconsistent PTEMagnet reservation state (PaRT invariant violated)."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant contract failed (see :mod:`repro.invariants`).
+
+    Raised by the debug-mode consistency checks over the buddy allocator,
+    the PaRT, and per-process page tables; a violation means simulator
+    state has silently drifted and every downstream figure is suspect.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation driver was configured or advanced incorrectly."""
 

@@ -159,9 +159,9 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     payloads = {}
     for name in names:
-        started = time.time()
+        started = time.perf_counter()
         text, payload = EXPERIMENTS[name](platform, args.seed)
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(text)
         print(f"[{name}: {elapsed:.1f}s]\n")
         payloads[name] = payload

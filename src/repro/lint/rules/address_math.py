@@ -1,0 +1,64 @@
+"""Address-math safety: frame/page-number arithmetic stays in integers.
+
+A single ``/`` on a frame or address silently produces a float; every
+downstream shift, mask, and dict key then degrades or raises far from the
+cause. The simulator's addresses are exact integers by construction, so
+true division and ``float()`` applied to address-named values are defects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext, Rule, name_tokens, register
+
+#: Exact snake_case tokens that mark a value as an address / frame number.
+#: Deliberately singular: plural tokens ("frames", "pages") name *counts*,
+#: whose ratios are legitimately float (e.g. free_frames / num_frames).
+ADDRESS_TOKENS = frozenset(
+    {"addr", "vaddr", "paddr", "address", "vpn", "pfn", "gfn", "hfn",
+     "vfn", "frame", "base"}
+)
+
+
+def _is_address_value(node: ast.AST) -> bool:
+    return bool(name_tokens(node) & ADDRESS_TOKENS)
+
+
+@register
+class AddressDivisionRule(Rule):
+    """Flag true division or ``float()`` over address-named values."""
+
+    name = "address-division"
+    category = "address-math"
+    description = (
+        "true division / float() on frame/pfn/addr-named values breaks "
+        "integer-exact address arithmetic; use // and int"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                if _is_address_value(node.left) or _is_address_value(
+                    node.right
+                ):
+                    yield ctx.finding(
+                        node,
+                        self,
+                        "true division on an address-named value yields a "
+                        "float; use // for exact frame arithmetic",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+                and node.args
+                and _is_address_value(node.args[0])
+            ):
+                yield ctx.finding(
+                    node,
+                    self,
+                    "float() applied to an address-named value; addresses "
+                    "and frame numbers must stay exact integers",
+                )

@@ -1,0 +1,82 @@
+"""API-hygiene rules: library-code conventions for this repository.
+
+Mutable default arguments alias state across calls (a classic source of
+cross-run contamination in long simulator sessions), and ``assert`` in
+library code vanishes under ``python -O`` -- invariants must raise
+:mod:`repro.errors` exceptions instead (see :mod:`repro.invariants`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext, Rule, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag mutable default argument values."""
+
+    name = "mutable-default"
+    category = "api-hygiene"
+    description = (
+        "mutable default arguments are shared across calls; default to "
+        "None and initialise in the body"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        default,
+                        self,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and initialise inside the function",
+                    )
+
+
+@register
+class BareAssertRule(Rule):
+    """Flag ``assert`` statements in library (non-test) code."""
+
+    name = "bare-assert"
+    category = "api-hygiene"
+    description = (
+        "assert disappears under python -O; library invariants must raise "
+        "repro.errors exceptions (see repro.invariants)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test_code:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.finding(
+                    node,
+                    self,
+                    "bare assert in library code; raise a repro.errors "
+                    "exception (e.g. InvariantViolation) instead",
+                )

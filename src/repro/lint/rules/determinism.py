@@ -1,0 +1,205 @@
+"""Determinism rules: the simulator must replay bit-identically per seed.
+
+Every random draw must come from a seeded :class:`random.Random` instance
+threaded through the call graph (the engine owns the root RNG); wall-clock
+reads and unordered-set iteration both smuggle nondeterminism into model
+state and results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..core import Finding, LintContext, Rule, register, root_name
+
+#: ``time`` module functions that read the wall clock / epoch.
+_WALL_CLOCK_TIME_FUNCS = frozenset({"time", "time_ns"})
+#: ``time`` module functions that are fine (monotonic, for elapsed spans).
+_ALLOWED_TIME_FUNCS = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+     "process_time", "process_time_ns", "sleep"}
+)
+#: ``datetime``/``date`` constructors that read the current time.
+_DATETIME_NOW_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _import_aliases(tree: ast.Module, module: str):
+    """Aliases under which ``module`` and its members are visible.
+
+    Returns ``(module_aliases, member_aliases)`` where ``member_aliases``
+    maps local name -> original member name for ``from module import ...``.
+    """
+    module_aliases: Set[str] = set()
+    member_aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    module_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                member_aliases[alias.asname or alias.name] = alias.name
+    return module_aliases, member_aliases
+
+
+@register
+class GlobalRandomRule(Rule):
+    """Flag draws from the process-global ``random`` module RNG."""
+
+    name = "global-random"
+    category = "determinism"
+    description = (
+        "model code must draw from a seeded random.Random instance, never "
+        "the process-global random module functions or an unseeded Random()"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module_aliases, member_aliases = _import_aliases(ctx.tree, "random")
+        if not module_aliases and not member_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                called = func.attr
+            elif isinstance(func, ast.Name) and func.id in member_aliases:
+                called = member_aliases[func.id]
+            if called is None:
+                continue
+            if called == "Random":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node,
+                        self,
+                        "unseeded random.Random(): seeds the RNG from the "
+                        "OS; pass an explicit seed",
+                    )
+            elif called == "SystemRandom":
+                yield ctx.finding(
+                    node, self, "random.SystemRandom() is never reproducible"
+                )
+            else:
+                yield ctx.finding(
+                    node,
+                    self,
+                    f"call to process-global random.{called}(); use a "
+                    "seeded random.Random instance instead",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """Flag wall-clock reads (``time.time``, ``datetime.now``) in model code."""
+
+    name = "wall-clock"
+    category = "determinism"
+    description = (
+        "wall-clock reads (time.time, datetime.now) leak host time into the "
+        "simulation; use time.perf_counter for elapsed spans"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        time_aliases, time_members = _import_aliases(ctx.tree, "time")
+        dt_module_aliases, dt_members = _import_aliases(ctx.tree, "datetime")
+        # Classes imported from datetime whose .now()/.today() read the clock.
+        dt_class_aliases = {
+            local
+            for local, original in dt_members.items()
+            if original in ("datetime", "date")
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                value = func.value
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in time_aliases
+                    and func.attr in _WALL_CLOCK_TIME_FUNCS
+                ):
+                    yield ctx.finding(
+                        node,
+                        self,
+                        f"time.{func.attr}() reads the wall clock; use "
+                        "time.perf_counter() for elapsed-time measurement",
+                    )
+                elif func.attr in _DATETIME_NOW_FUNCS and (
+                    (isinstance(value, ast.Name) and value.id in dt_class_aliases)
+                    or (
+                        isinstance(value, ast.Attribute)
+                        and value.attr in ("datetime", "date")
+                        and root_name(value) in dt_module_aliases
+                    )
+                ):
+                    yield ctx.finding(
+                        node,
+                        self,
+                        f"datetime .{func.attr}() reads the wall clock; "
+                        "model code must not depend on the current date",
+                    )
+            elif isinstance(func, ast.Name):
+                original = time_members.get(func.id)
+                if original in _WALL_CLOCK_TIME_FUNCS:
+                    yield ctx.finding(
+                        node,
+                        self,
+                        f"time.{original}() reads the wall clock; use "
+                        "time.perf_counter() for elapsed-time measurement",
+                    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class SetOrderRule(Rule):
+    """Flag result-ordering derived from unordered set iteration."""
+
+    name = "set-order"
+    category = "determinism"
+    description = (
+        "iterating a set produces hash-dependent order; sort before any "
+        "iteration whose order can reach results"
+    )
+
+    _MATERIALIZERS = frozenset({"list", "tuple", "enumerate"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iterables = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._MATERIALIZERS
+                and node.args
+            ):
+                iterables.append(node.args[0])
+            for iterable in iterables:
+                if _is_set_expr(iterable):
+                    yield ctx.finding(
+                        iterable,
+                        self,
+                        "iteration over an unordered set; wrap in "
+                        "sorted(...) so replay order is deterministic",
+                    )

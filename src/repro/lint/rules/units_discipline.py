@@ -1,0 +1,94 @@
+"""Units-discipline rule: no magic page/cache/PTE numbers in model code.
+
+The paper's whole argument rests on a handful of architectural quantities
+(4KB pages, 64B cache blocks, 8B PTEs, 512-way radix nodes, 8-PTE cache
+blocks). Model code under ``repro/{mem,core,pagetable,cache,tlb,virt}``
+must spell them as :mod:`repro.units` constants so an ablation that
+changes one of them changes *all* dependent arithmetic together.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext, Rule, name_tokens, register
+
+#: Magic integer -> the repro.units spelling that should replace it.
+MAGIC_UNITS = {
+    3: "RESERVATION_ORDER",
+    6: "CACHE_BLOCK_SHIFT",
+    7: "RESERVATION_PAGES - 1",
+    8: "PTE_SIZE or PTES_PER_CACHE_BLOCK",
+    9: "BITS_PER_LEVEL",
+    12: "PAGE_SHIFT",
+    63: "BLOCKS_PER_PAGE - 1",
+    64: "CACHE_BLOCK_SIZE or BLOCKS_PER_PAGE",
+    511: "PTES_PER_NODE - 1",
+    512: "PTES_PER_NODE",
+    4095: "PAGE_SIZE - 1",
+    4096: "PAGE_SIZE",
+    32768: "RESERVATION_BYTES",
+}
+
+#: Identifier-token prefixes marking a value as address-like. A magic
+#: number only fires when combined with one of these in address
+#: arithmetic, which keeps ordinary scalars (latencies, counts) quiet.
+ADDRESS_TOKEN_PREFIXES = (
+    "addr", "vaddr", "paddr", "vpn", "pfn", "gfn", "hfn", "vfn",
+    "frame", "page", "pte", "block", "group", "slot", "offset",
+)
+
+#: Operators that constitute address arithmetic / masking.
+_ADDRESS_OPS = (
+    ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr,
+    ast.Mod, ast.FloorDiv, ast.Mult, ast.Div,
+)
+
+
+def _is_address_expr(node: ast.AST) -> bool:
+    return any(
+        token.startswith(ADDRESS_TOKEN_PREFIXES)
+        for token in name_tokens(node)
+    )
+
+
+@register
+class MagicNumberRule(Rule):
+    """Flag architectural magic numbers combined with address-like names."""
+
+    name = "magic-number"
+    category = "units"
+    description = (
+        "page/cache/PTE magic numbers in model-code address arithmetic "
+        "must be repro.units constants"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        # Tests assert against literal expectations by design; the units
+        # discipline targets model code only.
+        if not ctx.in_units_scope or ctx.is_test_code:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, _ADDRESS_OPS):
+                continue
+            for constant, other in (
+                (node.right, node.left),
+                (node.left, node.right),
+            ):
+                if (
+                    isinstance(constant, ast.Constant)
+                    and type(constant.value) is int
+                    and constant.value in MAGIC_UNITS
+                    and _is_address_expr(other)
+                ):
+                    hint = MAGIC_UNITS[constant.value]
+                    yield ctx.finding(
+                        constant,
+                        self,
+                        f"magic number {constant.value} in address "
+                        f"arithmetic; use repro.units ({hint})",
+                    )
+                    break

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import OutOfMemoryError, ReproError
+from ..errors import InvariantViolation, OutOfMemoryError, ReproError
 from .physical import FrameState, PhysicalMemory
 
 #: Largest supported order, as in Linux (2**10 frames = 4MB blocks).
@@ -267,34 +267,38 @@ class BuddyAllocator:
     def check_invariants(self) -> None:
         """Verify free-list alignment, disjointness and frame conservation.
 
-        Raises :class:`ReproError` on any violation. Intended for tests;
-        cost is linear in the number of free blocks and live allocations.
+        Raises :class:`~repro.errors.InvariantViolation` (a
+        :class:`ReproError`) on any violation. Used by property-based
+        tests and by the :mod:`repro.invariants` debug contracts; cost is
+        linear in the number of free blocks and live allocations.
         """
         seen: Dict[int, str] = {}
         total_free = 0
         for order, blocks in enumerate(self._free):
             for base in blocks:
                 if base % (1 << order) != 0:
-                    raise ReproError(
+                    raise InvariantViolation(
                         f"free block {base} misaligned for order {order}"
                     )
                 total_free += 1 << order
                 for frame in range(base, base + (1 << order)):
                     if frame in seen:
-                        raise ReproError(f"frame {frame} on two lists")
+                        raise InvariantViolation(
+                            f"frame {frame} on two lists"
+                        )
                     seen[frame] = f"free[{order}]"
         if total_free != self._free_frames:
-            raise ReproError(
+            raise InvariantViolation(
                 f"free-frame count {self._free_frames} != lists {total_free}"
             )
         for base, order in self._allocated_order.items():
             if base % (1 << order) != 0:
-                raise ReproError(
+                raise InvariantViolation(
                     f"allocation {base} misaligned for order {order}"
                 )
             for frame in range(base, base + (1 << order)):
                 if frame in seen:
-                    raise ReproError(
+                    raise InvariantViolation(
                         f"frame {frame} both allocated and {seen[frame]}"
                     )
                 seen[frame] = "allocated"

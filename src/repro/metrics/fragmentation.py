@@ -15,7 +15,7 @@ from typing import Dict, List, Set
 
 from ..os.process import Process
 from ..pagetable.pte import pte_frame
-from ..units import PTES_PER_CACHE_BLOCK, reservation_group
+from ..units import PTES_PER_CACHE_BLOCK, RESERVATION_ORDER, reservation_group
 
 
 def group_block_counts(
@@ -33,7 +33,7 @@ def group_block_counts(
     for vpn, pte in process.page_table.iter_mappings():
         group = reservation_group(vpn)
         gfn = pte_frame(pte)
-        groups.setdefault(group, set()).add(gfn >> 3)
+        groups.setdefault(group, set()).add(gfn >> RESERVATION_ORDER)
         sizes[group] = sizes.get(group, 0) + 1
     return [
         len(blocks)

@@ -20,6 +20,7 @@ from ..core.part import PageReservationTable
 from ..core.policy import EnablementPolicy
 from ..core.reclaimer import ReclaimReport, ReservationReclaimer
 from ..errors import SegmentationFault, SimulationError
+from ..invariants import check_fault_invariants, invariants_enabled
 from ..mem.buddy import BuddyAllocator
 from ..mem.pcp import PerCpuPageCache
 from ..mem.physical import FrameState, PhysicalMemory
@@ -190,7 +191,21 @@ class GuestKernel:
         the COW-break path for write faults on shared pages, and to the
         default single-page path otherwise. Raises
         :class:`SegmentationFault` for addresses with no VMA.
+
+        With invariant contracts enabled (``GuestConfig.check_invariants``
+        or the ``REPRO_INVARIANTS`` env flag, see :mod:`repro.invariants`),
+        the allocator, PaRT and page-table consistency checks run after
+        every fault and raise
+        :class:`~repro.errors.InvariantViolation` on drift.
         """
+        outcome = self._handle_fault(process, vpn, write)
+        if self.config.check_invariants or invariants_enabled():
+            check_fault_invariants(self, process, vpn)
+        return outcome
+
+    def _handle_fault(
+        self, process: Process, vpn: int, write: bool
+    ) -> FaultOutcome:
         vma = process.address_space.find(vpn)
         if vma is None:
             raise SegmentationFault(

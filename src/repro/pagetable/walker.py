@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..units import pte_address
+from .pte import pte_frame
 from .radix import PageTable
 
 #: Signature of the memory-access callback: (physical_address, stream_tag)
@@ -103,7 +104,7 @@ class PageWalker:
                 self.pwc.fill(vpn, level, node_frame)
         frame = None
         if leaf_pte is not None:
-            frame = leaf_pte >> 12
+            frame = pte_frame(leaf_pte)
             deepest = 1
         self.walks += 1
         self.total_cycles += cycles

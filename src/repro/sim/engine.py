@@ -26,6 +26,7 @@ from ..metrics.fragmentation import (
 from ..os.kernel import GuestKernel
 from ..os.process import Process
 from ..pagetable.pte import PteFlags, pte_flags
+from ..units import BLOCKS_PER_PAGE, CACHE_BLOCK_SHIFT, PAGE_SHIFT
 from ..virt.hypervisor import HostKernel
 from ..virt.nested import NestedWalker
 from ..workloads.base import (
@@ -189,7 +190,9 @@ class WorkloadRun:
                 self.counters.tlb_misses += 1
             hfn, walk_extra = self._translate(vpn, op.write)
             cycles += walk_extra
-        data_addr = (hfn << 12) | ((op.block & 63) << 6)
+        data_addr = (hfn << PAGE_SHIFT) | (
+            (op.block & (BLOCKS_PER_PAGE - 1)) << CACHE_BLOCK_SHIFT
+        )
         cycles += self.core.hierarchy.access(data_addr, "data")
         if self.measuring:
             self.counters.accesses += 1

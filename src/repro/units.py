@@ -23,6 +23,9 @@ CACHE_BLOCK_SIZE = 64
 #: log2(CACHE_BLOCK_SIZE).
 CACHE_BLOCK_SHIFT = 6
 
+#: Number of cache blocks in one page: 4096B / 64B = 64.
+BLOCKS_PER_PAGE = PAGE_SIZE // CACHE_BLOCK_SIZE
+
 #: Size of one page-table entry in bytes (x86-64).
 PTE_SIZE = 8
 #: Number of PTEs that fit in one cache block: 64B / 8B = 8.
