@@ -19,7 +19,6 @@ import dataclasses
 from repro import PlatformConfig, Simulation
 from repro.experiments.baselines import render_baselines, run_baselines
 from repro.experiments.sec62 import StrideEighthWorkload
-from repro.metrics.counters import percentile
 from repro.workloads import make_corunner
 from repro.workloads.scripted import ScriptedWorkload
 
@@ -68,7 +67,7 @@ def thp_stall_demo() -> None:
     )
     resident.fast_forward = True
     sim.run_until_finished(resident)
-    before = len(sim.kernel.stats.fault_latencies)
+    before = sim.kernel.stats.fault_latencies.snapshot()
     from repro.workloads import AccessOp, MmapOp
 
     victim_script = [MmapOp("data", 1536)] + [
@@ -77,11 +76,11 @@ def thp_stall_demo() -> None:
     app = sim.add_workload(ScriptedWorkload("victim", victim_script))
     app.fast_forward = True
     sim.run_until_finished(app)
-    latencies = sim.kernel.stats.fault_latencies[before:]
+    latencies = sim.kernel.stats.fault_latencies.delta(before)
     print(
-        f"victim fault latency p50={percentile(latencies, 0.5):.0f} "
-        f"max={max(latencies):.0f} cycles "
-        f"({max(latencies) / percentile(latencies, 0.5):.0f}x spike); "
+        f"victim fault latency p50={latencies.percentile(0.5):.0f} "
+        f"max={latencies.max:.0f} cycles "
+        f"({latencies.max / latencies.percentile(0.5):.0f}x spike); "
         f"{sim.kernel.stats.thp_fallback_faults} compaction stalls, "
         f"{sim.kernel.stats.thp_faults} successful huge faults"
     )

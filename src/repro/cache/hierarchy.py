@@ -16,8 +16,11 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..config import MachineConfig
+from ..obs.trace import tracepoint
 from ..units import CACHE_BLOCK_SHIFT
 from .set_assoc import SetAssociativeCache
+
+_tp_miss = tracepoint("cache.miss")
 
 
 class AccessOutcome(enum.Enum):
@@ -104,6 +107,8 @@ class CacheHierarchy:
             self.llc.fill(block)
             self.l2.fill(block)
             self.l1.fill(block)
+            if _tp_miss.enabled:
+                _tp_miss.emit(block=block, stream=stream)
         counters = self.counters(stream)
         counters.accesses += 1
         counters.cycles += latency

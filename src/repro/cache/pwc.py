@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import tracepoint
 from ..units import BITS_PER_LEVEL, PT_LEVELS
+
+_tp_miss = tracepoint("pwc.miss")
 
 
 class PageWalkCache:
@@ -65,6 +68,8 @@ class PageWalkCache:
                 self.hits += 1
                 return level, frame
         self.misses += 1
+        if _tp_miss.enabled:
+            _tp_miss.emit(vpn=vpn)
         return None
 
     def fill(self, vpn: int, level: int, node_frame: int) -> None:

@@ -27,9 +27,16 @@ from typing import Optional
 from ..errors import OutOfMemoryError
 from ..mem.buddy import BuddyAllocator
 from ..mem.physical import FrameState
+from ..obs.trace import tracepoint
 from ..units import RESERVATION_ORDER
 from .part import PageReservationTable
 from .reservation import Reservation
+
+_tp_hit = tracepoint("reservation.hit")
+_tp_new = tracepoint("reservation.new")
+_tp_fallback = tracepoint("reservation.fallback")
+_tp_complete = tracepoint("reservation.complete")
+_tp_free = tracepoint("reservation.free")
 
 
 @dataclass
@@ -123,7 +130,17 @@ class PTEMagnetAllocator:
             if entry.full:
                 used_part.remove(group)
                 self.stats.reservations_completed += 1
+                if _tp_complete.enabled:
+                    _tp_complete.emit(pid=owner, group=group)
             self.stats.reservation_hits += 1
+            if _tp_hit.enabled:
+                _tp_hit.emit(
+                    pid=owner,
+                    group=group,
+                    slot=slot,
+                    frame=frame,
+                    from_parent=used_part is not part,
+                )
             return FaultPathResult(
                 frame=frame,
                 from_reservation=True,
@@ -140,6 +157,8 @@ class PTEMagnetAllocator:
         except OutOfMemoryError:
             frame = self.buddy.alloc_frame(owner=owner, state=FrameState.USER)
             self.stats.fallback_single_pages += 1
+            if _tp_fallback.enabled:
+                _tp_fallback.emit(pid=owner, group=group, frame=frame)
             return FaultPathResult(
                 frame=frame,
                 from_reservation=False,
@@ -154,6 +173,14 @@ class PTEMagnetAllocator:
         self.buddy.memory.set_state(frame, FrameState.USER, owner)
         part.insert(reservation)
         self.stats.reservations_created += 1
+        if _tp_new.enabled:
+            _tp_new.emit(
+                pid=owner,
+                group=group,
+                slot=slot,
+                base=base,
+                pages=self.reservation_pages,
+            )
         return FaultPathResult(
             frame=frame,
             from_reservation=False,
@@ -184,10 +211,13 @@ class PTEMagnetAllocator:
             return False
         entry.unmap_slot(slot)
         self.buddy.memory.set_state(frame, FrameState.RESERVED, None)
-        if entry.empty:
+        emptied = entry.empty
+        if emptied:
             part.remove(group)
             for reserved in range(
                 entry.base_frame, entry.base_frame + entry.pages
             ):
                 self.buddy.free(reserved)
+        if _tp_free.enabled:
+            _tp_free.emit(group=group, slot=slot, emptied=emptied)
         return True

@@ -19,7 +19,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..mem.buddy import BuddyAllocator
+from ..obs.trace import tracepoint
 from .part import PageReservationTable
+
+_tp_wake = tracepoint("reclaim.wake")
+_tp_done = tracepoint("reclaim.done")
 
 
 @dataclass
@@ -78,6 +82,8 @@ class ReservationReclaimer:
             return report
         report.invoked = True
         self.invocations += 1
+        if _tp_wake.enabled:
+            _tp_wake.emit(free_fraction=self.buddy.free_fraction)
         candidates = list(parts_by_pid)
         self.rng.shuffle(candidates)
         for pid in candidates:
@@ -86,6 +92,12 @@ class ReservationReclaimer:
             released = self._reclaim_process(parts_by_pid[pid], report)
             if released:
                 report.processes_walked.append(pid)
+        if _tp_done.enabled:
+            _tp_done.emit(
+                pages_released=report.pages_released,
+                reservations_released=report.reservations_released,
+                processes_walked=len(report.processes_walked),
+            )
         return report
 
     def _reclaim_process(

@@ -94,8 +94,6 @@ def _measure(
     # actually touched == the workload's declared footprint; anything
     # resident beyond that is THP-style internal fragmentation.
     touched = min(run.workload.footprint_pages, process.rss_pages)
-    from ..metrics.counters import percentile
-
     return BaselineRow(
         mode=mode,
         cycles=counters.cycles,
@@ -105,7 +103,7 @@ def _measure(
         faults=sim.kernel.stats.faults,
         rss_pages=process.rss_pages,
         touched_pages=touched,
-        fault_p99=percentile(sim.kernel.stats.fault_latencies, 0.99),
+        fault_p99=sim.kernel.stats.fault_latencies.percentile(0.99),
     )
 
 

@@ -8,6 +8,12 @@ Regenerates any table or figure of the paper's evaluation from the shell:
 
 Each experiment prints the paper-style rendering; ``--json`` additionally
 dumps the structured numbers for downstream processing.
+
+With ``--trace PATH`` the run streams every enabled tracepoint event to a
+JSONL trace keyed to modelled cycles (inspect with ``python -m repro.obs
+summarize`` or convert for Perfetto with ``python -m repro.obs export``);
+``--sample-interval N`` additionally records the standard time series
+(fragmentation, free lists, PaRT occupancy, ...) every N modelled cycles.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from typing import Callable, Dict, Tuple
 
 from ..config import PlatformConfig
 from ..metrics.report import Table
+from ..obs.sinks import JsonlSink
+from ..obs.trace import TRACER
 from ..workloads.registry import table3_rows
 from .baselines import render_baselines, run_baselines
 from .figure5 import render_figure5, run_figure5
@@ -153,18 +161,63 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="also write structured results as JSON to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream tracepoint events to a JSONL trace at PATH",
+    )
+    parser.add_argument(
+        "--trace-categories",
+        default="*",
+        help="comma-separated tracepoint categories to enable "
+        '(e.g. "buddy,fault,reservation"; default: all)',
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help="record the standard time series every CYCLES modelled "
+        "cycles (requires --trace; 0 disables)",
+    )
     args = parser.parse_args(argv)
+    if args.sample_interval < 0:
+        parser.error("--sample-interval must be non-negative")
+    if args.sample_interval and not args.trace:
+        parser.error("--sample-interval requires --trace")
 
     platform = PlatformConfig()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     payloads = {}
-    for name in names:
-        started = time.perf_counter()
-        text, payload = EXPERIMENTS[name](platform, args.seed)
-        elapsed = time.perf_counter() - started
-        print(text)
-        print(f"[{name}: {elapsed:.1f}s]\n")
-        payloads[name] = payload
+    sink = None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        TRACER.attach(sink)
+        categories = [
+            token.strip()
+            for token in args.trace_categories.split(",")
+            if token.strip()
+        ]
+        TRACER.enable(*(categories or ["*"]))
+        TRACER.sample_interval_cycles = args.sample_interval
+    try:
+        for name in names:
+            started = time.perf_counter()
+            text, payload = EXPERIMENTS[name](platform, args.seed)
+            elapsed = time.perf_counter() - started
+            print(text)
+            print(f"[{name}: {elapsed:.1f}s]\n")
+            payloads[name] = payload
+    finally:
+        if sink is not None:
+            TRACER.detach(sink)
+            TRACER.disable()
+            TRACER.sample_interval_cycles = 0
+            sink.close()
+            print(
+                f"wrote {sink.events_written} trace events to {args.trace} "
+                "(inspect: python -m repro.obs summarize)"
+            )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payloads, handle, indent=2, sort_keys=True)

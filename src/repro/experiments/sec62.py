@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..config import PlatformConfig
 from ..metrics.report import Table
+from ..obs.sampler import PeriodicSampler
 from ..sim.engine import Simulation
 from ..units import RESERVATION_PAGES
 from ..workloads.base import MemoryOp, MmapOp, PhaseOp, Workload, WorkloadPhase
@@ -93,25 +94,22 @@ def _run_sampled(
         co.fast_forward = True
     run = sim.add_workload(workload)
     run.fast_forward = True  # §6.2 measures occupancy, not timing
-    samples: List[Tuple[int, int, int]] = []
-    while not run.finished:
-        sim.turn()
-        if sim.turns % sample_every == 0:
-            samples.append(
-                (
-                    sim.turns,
-                    sim.kernel.unmapped_reserved_pages(run.process),
-                    run.process.rss_pages,
-                )
-            )
-    samples.append(
-        (
-            sim.turns,
-            sim.kernel.unmapped_reserved_pages(run.process),
-            run.process.rss_pages,
-        )
+    # Shared periodic sampler (repro.obs): samples fire inside sim.turn()
+    # after the reclaim wakeup, on the same cadence the bespoke loop this
+    # replaced used, so the series is reproduced value for value.
+    sampler = sim.add_sampler(PeriodicSampler(sim, every_turns=sample_every))
+    sampler.add_probe(
+        "unmapped_reserved",
+        lambda s: s.kernel.unmapped_reserved_pages(run.process),
     )
-    return samples
+    sampler.add_probe("rss", lambda s: run.process.rss_pages)
+    sampler.run_until(lambda: run.finished)
+    unmapped = sampler.series["unmapped_reserved"].points
+    rss = sampler.series["rss"].points
+    return [
+        (turn, unmapped_pages, rss_pages)
+        for (turn, unmapped_pages), (_turn, rss_pages) in zip(unmapped, rss)
+    ]
 
 
 def run_sec62(

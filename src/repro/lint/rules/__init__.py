@@ -1,5 +1,17 @@
 """Rule modules; importing this package registers every built-in rule."""
 
-from . import address_math, api_hygiene, determinism, units_discipline
+from . import (
+    address_math,
+    api_hygiene,
+    determinism,
+    observability,
+    units_discipline,
+)
 
-__all__ = ["address_math", "api_hygiene", "determinism", "units_discipline"]
+__all__ = [
+    "address_math",
+    "api_hygiene",
+    "determinism",
+    "observability",
+    "units_discipline",
+]

@@ -1,0 +1,125 @@
+"""Observability rules: structured tracing over ad-hoc output.
+
+Library code must not write to stdout/stderr or the stdlib ``logging``
+tree -- diagnostics belong on :mod:`repro.obs` tracepoints, which are
+zero-cost when disabled, carry the modelled-cycle timestamp, and land in
+exportable traces. CLI surfaces (``__main__.py``, ``cli.py``,
+``runner.py`` and ``main()`` entry functions) are the user interface and
+are exempt.
+
+Tracepoint names registered with a literal must follow the dotted
+lower-case ``layer.event`` convention (the same pattern
+:data:`repro.obs.trace.TRACEPOINT_NAME_RE` enforces at runtime);
+dynamically built names (e.g. the sampler's ``sample.*`` probes) are
+validated at registration instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+from typing import Iterator, List, Tuple
+
+from ..core import Finding, LintContext, Rule, register
+
+#: File names that are command-line surfaces, where print() is the API.
+CLI_FILE_NAMES = frozenset({"__main__.py", "cli.py", "runner.py"})
+
+#: Mirrors ``repro.obs.trace.TRACEPOINT_NAME_RE`` (kept literal here so
+#: the linter does not import simulator code).
+TRACEPOINT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def _main_function_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line ranges of ``main`` entry functions (exempt from raw-output)."""
+    spans = []
+    for node in tree.body:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "main"
+        ):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+@register
+class RawOutputRule(Rule):
+    """Flag print()/logging in library code; use repro.obs tracepoints."""
+
+    name = "raw-output"
+    category = "observability"
+    description = (
+        "library code must not print() or use stdlib logging; emit a "
+        "repro.obs tracepoint (CLI entry points are exempt)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test_code:
+            return
+        if PurePath(ctx.path).name in CLI_FILE_NAMES:
+            return
+        main_spans = _main_function_spans(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            line = node.lineno
+            if any(start <= line <= end for start, end in main_spans):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield ctx.finding(
+                    node,
+                    self,
+                    "print() in library code; emit a repro.obs tracepoint "
+                    "or return the value to the caller",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "logging"
+            ):
+                yield ctx.finding(
+                    node,
+                    self,
+                    "stdlib logging in library code; emit a repro.obs "
+                    "tracepoint instead",
+                )
+
+
+@register
+class TracepointNamingRule(Rule):
+    """Enforce dotted lower-case ``layer.event`` tracepoint names."""
+
+    name = "tracepoint-naming"
+    category = "observability"
+    description = (
+        "tracepoint names must be dotted lower-case 'layer.event' paths "
+        "(matching repro.obs.trace.TRACEPOINT_NAME_RE)"
+    )
+
+    @staticmethod
+    def _is_tracepoint_call(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "tracepoint"
+        return isinstance(func, ast.Attribute) and func.attr == "tracepoint"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_tracepoint_call(node) or not node.args:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Constant) or not isinstance(
+                arg.value, str
+            ):
+                continue  # dynamic names are validated at registration
+            if not TRACEPOINT_NAME_RE.match(arg.value):
+                yield ctx.finding(
+                    arg,
+                    self,
+                    f"tracepoint name {arg.value!r} is not a dotted "
+                    "lower-case 'layer.event' path",
+                )

@@ -24,10 +24,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import InvariantViolation, OutOfMemoryError, ReproError
+from ..obs.trace import tracepoint
 from .physical import FrameState, PhysicalMemory
 
 #: Largest supported order, as in Linux (2**10 frames = 4MB blocks).
 MAX_ORDER = 10
+
+#: Free-fraction threshold below which the allocator reports memory
+#: pressure via the ``buddy.watermark`` tracepoint (edge-triggered, like
+#: the kernel's low-watermark wakeup rather than a per-allocation check).
+LOW_WATERMARK_FRACTION = 0.125
+
+_tp_alloc = tracepoint("buddy.alloc")
+_tp_free = tracepoint("buddy.free")
+_tp_split = tracepoint("buddy.split")
+_tp_coalesce = tracepoint("buddy.coalesce")
+_tp_oom = tracepoint("buddy.oom")
+_tp_watermark = tracepoint("buddy.watermark")
 
 
 @dataclass
@@ -74,6 +87,7 @@ class BuddyAllocator:
         ]
         self._allocated_order: Dict[int, int] = {}
         self._free_frames = 0
+        self._below_watermark = False
         self._seed_free_lists(reserved_base_frames)
         if reserved_base_frames:
             memory.set_range_state(
@@ -140,6 +154,8 @@ class BuddyAllocator:
         source = self._find_source_order(order)
         if source is None:
             self.stats.failed_allocations += 1
+            if _tp_oom.enabled:
+                _tp_oom.emit(order=order, free_frames=self._free_frames)
             raise OutOfMemoryError(
                 f"{self.memory.name}: no free block of order >= {order}"
             )
@@ -149,10 +165,16 @@ class BuddyAllocator:
             buddy = base + (1 << source)
             self._free[source][buddy] = None
             self.stats.splits += 1
+            if _tp_split.enabled:
+                _tp_split.emit(order=source, base=base, buddy=buddy)
         self._allocated_order[base] = order
         self._free_frames -= 1 << order
         self.stats.record_alloc(order)
         self.memory.set_range_state(base, 1 << order, state, owner)
+        if _tp_alloc.enabled:
+            _tp_alloc.emit(order=order, base=base, owner=owner)
+        if _tp_watermark.enabled:
+            self._check_watermark()
         return base
 
     def free(self, base: int) -> None:
@@ -168,6 +190,8 @@ class BuddyAllocator:
             )
         self.memory.set_range_state(base, 1 << order, FrameState.FREE)
         self._free_frames += 1 << order
+        if _tp_free.enabled:
+            _tp_free.emit(order=order, base=base)
         while order < MAX_ORDER:
             buddy = base ^ (1 << order)
             if buddy not in self._free[order]:
@@ -176,8 +200,12 @@ class BuddyAllocator:
             base = min(base, buddy)
             order += 1
             self.stats.coalesces += 1
+            if _tp_coalesce.enabled:
+                _tp_coalesce.emit(order=order, base=base)
         self._free[order][base] = None
         self.stats.frees += 1
+        if _tp_watermark.enabled:
+            self._check_watermark()
 
     def alloc_frame(
         self, owner: Optional[int] = None, state: FrameState = FrameState.USER
@@ -210,14 +238,22 @@ class BuddyAllocator:
                 if frame >= half:
                     self._free[current][base] = None
                     self.stats.splits += 1
+                    if _tp_split.enabled:
+                        _tp_split.emit(order=current, base=base, buddy=half)
                     base = half
                 else:
                     self._free[current][half] = None
                     self.stats.splits += 1
+                    if _tp_split.enabled:
+                        _tp_split.emit(order=current, base=base, buddy=half)
             self._allocated_order[frame] = 0
             self._free_frames -= 1
             self.stats.record_alloc(0)
             self.memory.set_state(frame, state, owner)
+            if _tp_alloc.enabled:
+                _tp_alloc.emit(order=0, base=frame, owner=owner)
+            if _tp_watermark.enabled:
+                self._check_watermark()
             return True
         return False
 
@@ -246,6 +282,16 @@ class BuddyAllocator:
     def _check_order(order: int) -> None:
         if not 0 <= order <= MAX_ORDER:
             raise ValueError(f"order must be in [0, {MAX_ORDER}], got {order}")
+
+    def _check_watermark(self) -> None:
+        """Emit edge-triggered ``buddy.watermark`` pressure transitions."""
+        below = self.free_fraction < LOW_WATERMARK_FRACTION
+        if below != self._below_watermark:
+            self._below_watermark = below
+            _tp_watermark.emit(
+                state="low" if below else "ok",
+                free_frames=self._free_frames,
+            )
 
     def _find_source_order(self, order: int) -> Optional[int]:
         for candidate in range(order, MAX_ORDER + 1):

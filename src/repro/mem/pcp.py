@@ -19,8 +19,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import OutOfMemoryError
+from ..obs.trace import tracepoint
 from .buddy import BuddyAllocator
 from .physical import FrameState
+
+_tp_refill = tracepoint("pcp.refill")
+_tp_drain = tracepoint("pcp.drain")
 
 
 @dataclass
@@ -108,6 +112,8 @@ class PerCpuPageCache:
                 f"{self.buddy.memory.name}: pcp refill found no free pages"
             )
         self.stats.refills += 1
+        if _tp_refill.enabled:
+            _tp_refill.emit(cpu=cpu, pages=len(entries))
 
     def free_frame(self, cpu: int, frame: int) -> None:
         """Return one frame to ``cpu``'s cache, draining past the
@@ -123,9 +129,12 @@ class PerCpuPageCache:
     def _drain(self, cpu: int) -> None:
         """Push ``batch`` pages from ``cpu``'s cache back to the buddy."""
         entries = self._lists[cpu]
-        for _ in range(min(self.batch, len(entries))):
+        drained = min(self.batch, len(entries))
+        for _ in range(drained):
             self.buddy.free(entries.pop(0))
         self.stats.drains += 1
+        if _tp_drain.enabled:
+            _tp_drain.emit(cpu=cpu, pages=drained)
 
     def drain_all(self) -> None:
         """Return every cached page to the buddy (offline/teardown)."""

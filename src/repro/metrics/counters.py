@@ -10,7 +10,9 @@ them with :func:`percent_change`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
+
+from ..obs.histogram import Log2Histogram
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -58,14 +60,22 @@ class PerfCounters:
     host_pt_fragmentation: float = 0.0
     #: Fraction of groups scattered to 8 distinct hPTE blocks.
     fragmented_group_fraction: float = 0.0
-    #: Per-fault handler latency samples (cycles), for tail analysis.
-    fault_latencies: List[int] = field(default_factory=list)
+    #: Per-fault handler latency distribution (cycles), for tail
+    #: analysis. A bounded log2 histogram -- memory stays O(1) no matter
+    #: how many faults a run takes (the raw ``List[int]`` it replaces
+    #: grew without bound on long runs).
+    fault_latencies: Log2Histogram = field(default_factory=Log2Histogram)
     #: Extra labelled values an experiment wants to carry along.
     extra: Dict[str, float] = field(default_factory=dict)
 
     def fault_latency_percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile of fault-handler latency."""
-        return percentile(self.fault_latencies, fraction)
+        """Nearest-rank percentile of fault-handler latency.
+
+        Resolution is one log2 bucket (the histogram returns the bucket
+        midpoint), which is ample for the order-of-magnitude tail
+        comparisons of §2.3/§7.
+        """
+        return self.fault_latencies.percentile(fraction)
 
     @property
     def tlb_miss_rate(self) -> float:

@@ -1,0 +1,107 @@
+"""The ``python -m repro.obs`` command line: inspect and convert traces.
+
+::
+
+    python -m repro.obs summarize out.trace.jsonl
+    python -m repro.obs export out.trace.jsonl -o out.trace.json
+    python -m repro.obs catalog
+
+``export`` writes a Chrome ``trace_event`` JSON loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``. ``catalog`` imports
+the instrumented layers and lists every registered tracepoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .export import render_summary, summarize, to_chrome
+from .sinks import iter_trace
+from .trace import TRACER
+
+#: Modules imported by ``catalog`` so their emit sites register.
+INSTRUMENTED_MODULES = (
+    "repro.cache.hierarchy",
+    "repro.cache.pwc",
+    "repro.core.allocator",
+    "repro.core.part",
+    "repro.core.reclaimer",
+    "repro.mem.buddy",
+    "repro.mem.pcp",
+    "repro.os.kernel",
+    "repro.sim.engine",
+    "repro.tlb.tlb",
+    "repro.virt.nested",
+)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    summary = summarize(iter_trace(args.trace))
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    document = to_chrome(iter_trace(args.trace))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=args.indent)
+        handle.write("\n")
+    print(
+        f"wrote {args.output} ({len(document['traceEvents'])} trace events); "
+        "load it in https://ui.perfetto.dev or chrome://tracing"
+    )
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    import importlib
+
+    for module in INSTRUMENTED_MODULES:
+        importlib.import_module(module)
+    catalog = TRACER.catalog()
+    width = max((len(name) for name in catalog), default=0)
+    for name, enabled in catalog.items():
+        state = "on" if enabled else "off"
+        print(f"{name.ljust(width)}  [{state}]")
+    print(f"{len(catalog)} tracepoints registered")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize and convert repro trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="digest a JSONL trace")
+    p_sum.add_argument("trace", help="JSONL trace file (runner --trace output)")
+    p_sum.add_argument(
+        "--json", action="store_true", help="emit the digest as JSON"
+    )
+    p_sum.set_defaults(func=_cmd_summarize)
+
+    p_exp = sub.add_parser(
+        "export", help="convert a JSONL trace to Chrome/Perfetto JSON"
+    )
+    p_exp.add_argument("trace", help="JSONL trace file (runner --trace output)")
+    p_exp.add_argument(
+        "-o", "--output", required=True, help="Chrome trace JSON output path"
+    )
+    p_exp.add_argument(
+        "--indent", type=int, default=None, help="pretty-print indentation"
+    )
+    p_exp.set_defaults(func=_cmd_export)
+
+    p_cat = sub.add_parser("catalog", help="list registered tracepoints")
+    p_cat.set_defaults(func=_cmd_catalog)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

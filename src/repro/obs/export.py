@@ -1,0 +1,137 @@
+"""Trace conversion and summarisation.
+
+``to_chrome`` converts recorded events into the Chrome ``trace_event``
+JSON format (the ``traceEvents`` array form), loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* events carrying a ``cycles`` field become complete slices (``"X"``)
+  with that duration, so page walks and fault handlers render as spans
+  on the modelled-cycle timeline;
+* ``sample.*`` events become counter tracks (``"C"``), so the sampler's
+  fragmentation / occupancy series plot directly;
+* everything else becomes an instant event (``"i"``).
+
+Timestamps are modelled cycles, mapped 1:1 onto the format's
+microsecond field -- absolute units do not matter for inspection, only
+relative placement does.
+
+``summarize`` produces the per-tracepoint counts and sampler series
+digest behind ``python -m repro.obs summarize``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .trace import TraceEvent
+
+#: Per-process track when the event does not say which pid it concerns.
+DEFAULT_PID = 0
+
+
+def to_chrome(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Convert events to a Chrome ``trace_event`` JSON object."""
+    trace_events: List[Dict[str, object]] = []
+    for event in events:
+        args = dict(event.args)
+        pid = args.get("pid", DEFAULT_PID)
+        if not isinstance(pid, int):
+            pid = DEFAULT_PID
+        entry: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": pid,
+            "tid": pid,
+            "ts": event.ts,
+            "args": args,
+        }
+        cycles = args.get("cycles")
+        if event.category == "sample":
+            value = args.get("value")
+            entry["ph"] = "C"
+            entry["pid"] = DEFAULT_PID
+            entry["tid"] = DEFAULT_PID
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                entry["args"] = {"value": value}
+            else:  # non-numeric sample payloads stay inspectable
+                entry["ph"] = "i"
+                entry["s"] = "g"
+        elif isinstance(cycles, int) and not isinstance(cycles, bool):
+            entry["ph"] = "X"
+            entry["dur"] = max(cycles, 1)
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "g"
+        trace_events.append(entry)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "modelled cycles", "source": "repro.obs"},
+    }
+
+
+def summarize(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Digest a trace: event counts, cycle span, sampler series stats."""
+    counts: Dict[str, int] = {}
+    categories: Dict[str, int] = {}
+    series: Dict[str, List[float]] = {}
+    first_ts = None
+    last_ts = 0
+    last_turn = 0
+    total = 0
+    for event in events:
+        total += 1
+        counts[event.name] = counts.get(event.name, 0) + 1
+        categories[event.category] = categories.get(event.category, 0) + 1
+        if first_ts is None:
+            first_ts = event.ts
+        last_ts = event.ts
+        last_turn = max(last_turn, event.turn)
+        if event.category == "sample":
+            value = event.args.get("value")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                name = str(event.args.get("probe", event.name))
+                series.setdefault(name, []).append(value)
+    series_stats = {
+        name: {
+            "samples": len(values),
+            "min": min(values),
+            "max": max(values),
+            "final": values[-1],
+        }
+        for name, values in sorted(series.items())
+    }
+    return {
+        "events": total,
+        "cycle_span": (last_ts - first_ts) if first_ts is not None else 0,
+        "final_turn": last_turn,
+        "by_category": dict(sorted(categories.items())),
+        "by_tracepoint": dict(sorted(counts.items())),
+        "series": series_stats,
+    }
+
+
+def render_summary(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`summarize`'s digest."""
+    lines = [
+        f"events: {summary['events']}  "
+        f"(modelled-cycle span: {summary['cycle_span']}, "
+        f"final turn: {summary['final_turn']})",
+        "",
+        "events by tracepoint:",
+    ]
+    by_tracepoint: Dict[str, int] = summary["by_tracepoint"]  # type: ignore[assignment]
+    width = max((len(name) for name in by_tracepoint), default=0)
+    for name, count in by_tracepoint.items():
+        lines.append(f"  {name.ljust(width)}  {count}")
+    series: Dict[str, Dict[str, object]] = summary["series"]  # type: ignore[assignment]
+    if series:
+        lines.append("")
+        lines.append("sampled series (min / max / final):")
+        swidth = max(len(name) for name in series)
+        for name, stats in series.items():
+            lines.append(
+                f"  {name.ljust(swidth)}  {stats['samples']:>5} samples   "
+                f"{stats['min']:g} / {stats['max']:g} / {stats['final']:g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Bounded log2-bucketed histogram for latency-style samples.
+
+Replaces the unbounded per-fault latency lists: memory is a fixed 65
+buckets no matter how many samples arrive, and percentiles come from
+bucket midpoints (nearest-rank over the cumulative counts), which is the
+standard resolution/size trade-off of kernel latency histograms (e.g.
+BPF's ``hist()``). Exact ``count``, ``total``, ``min`` and ``max`` are
+tracked alongside, so means and extremes stay precise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Log2Histogram:
+    """Histogram of non-negative integers with power-of-two buckets.
+
+    Bucket 0 holds the value 0; bucket ``b >= 1`` holds values in
+    ``[2**(b-1), 2**b - 1]`` (i.e. values with bit length ``b``).
+    """
+
+    #: Bucket count: values up to ``2**64 - 1`` land in distinct buckets;
+    #: anything larger clamps into the last one.
+    NUM_BUCKETS = 65
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: List[int] = [0] * self.NUM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record(self, value: int) -> None:
+        """Add one sample (non-negative integer)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        bucket = value.bit_length()
+        if bucket >= self.NUM_BUCKETS:
+            bucket = self.NUM_BUCKETS - 1
+        self.buckets[bucket] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Log2Histogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        for bucket, n in enumerate(other.buckets):
+            self.buckets[bucket] += n
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min,):
+            if bound is not None and (self.min is None or bound < self.min):
+                self.min = bound
+        for bound in (other.max,):
+            if bound is not None and (self.max is None or bound > self.max):
+                self.max = bound
+
+    def delta(self, earlier: "Log2Histogram") -> "Log2Histogram":
+        """Samples recorded since the ``earlier`` snapshot.
+
+        Bucket-wise subtraction; ``earlier`` must be a prefix of this
+        histogram's history. The delta's ``min``/``max`` are bucket
+        bounds (the exact extremes of just the window are not recoverable
+        from snapshots).
+        """
+        out = Log2Histogram()
+        for bucket in range(self.NUM_BUCKETS):
+            diff = self.buckets[bucket] - earlier.buckets[bucket]
+            if diff < 0:
+                raise ValueError("delta against a non-prefix snapshot")
+            out.buckets[bucket] = diff
+        out.count = self.count - earlier.count
+        out.total = self.total - earlier.total
+        nonzero = [b for b, n in enumerate(out.buckets) if n]
+        if nonzero:
+            out.min = self.bucket_low(nonzero[0])
+            out.max = self.bucket_high(nonzero[-1])
+        return out
+
+    def snapshot(self) -> "Log2Histogram":
+        """An independent copy (for before/after windows)."""
+        out = Log2Histogram()
+        out.buckets = list(self.buckets)
+        out.count = self.count
+        out.total = self.total
+        out.min = self.min
+        out.max = self.max
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def bucket_low(bucket: int) -> int:
+        """Smallest value landing in ``bucket``."""
+        return 0 if bucket == 0 else 1 << (bucket - 1)
+
+    @staticmethod
+    def bucket_high(bucket: int) -> int:
+        """Largest value landing in ``bucket``."""
+        return 0 if bucket == 0 else (1 << bucket) - 1
+
+    @classmethod
+    def bucket_midpoint(cls, bucket: int) -> float:
+        """Representative value reported for ``bucket``."""
+        return (cls.bucket_low(bucket) + cls.bucket_high(bucket)) / 2.0
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all recorded samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile, resolved to the bucket midpoint.
+
+        Matches the nearest-rank convention of
+        :func:`repro.metrics.counters.percentile` -- same rank selection,
+        bucket-midpoint resolution.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = min(self.count - 1, max(0, int(fraction * self.count)))
+        cumulative = 0
+        for bucket, n in enumerate(self.buckets):
+            cumulative += n
+            if rank < cumulative:
+                return self.bucket_midpoint(bucket)
+        raise AssertionError  # pragma: no cover - counts always add up
+
+    def nonzero_buckets(self) -> Dict[int, int]:
+        """Mapping bucket index -> count, for non-empty buckets only."""
+        return {b: n for b, n in enumerate(self.buckets) if n}
+
+    # ------------------------------------------------------------------ #
+    # Serialization / comparison
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": self.nonzero_buckets(),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Log2Histogram":
+        out = cls()
+        for bucket, n in dict(payload.get("buckets") or {}).items():
+            out.buckets[int(bucket)] = int(n)
+        out.count = int(payload.get("count") or 0)
+        out.total = int(payload.get("total") or 0)
+        out.min = payload.get("min")
+        out.max = payload.get("max")
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Log2Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Log2Histogram(count={self.count}, mean={self.mean:.1f}, "
+            f"min={self.min}, max={self.max})"
+        )

@@ -1,0 +1,115 @@
+"""Trace sinks: where recorded events go.
+
+Two bounded/streaming options cover the use cases:
+
+* :class:`RingBufferSink` -- a fixed-capacity in-memory ring (ftrace's
+  per-CPU buffers); the cheapest way to keep "the last N events" around
+  a failure or inside a test.
+* :class:`JsonlSink` -- streaming one-JSON-object-per-line writer, the
+  interchange format the ``python -m repro.obs`` CLI consumes and the
+  runner's ``--trace`` flag produces.
+
+``read_trace`` loads a JSONL trace back into :class:`TraceEvent` objects
+(round-trip tested).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Iterator, List, Union
+
+from ..errors import ReproError
+from .trace import TraceEvent
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events; count what was dropped."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_events = 0
+        self.dropped_events = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self.total_events += 1
+        if len(self._events) == self.capacity:
+            self.dropped_events += 1
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.total_events = 0
+        self.dropped_events = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink:
+    """Stream events to a JSONL file (one event object per line)."""
+
+    def __init__(self, destination: Union[str, Path, io.TextIOBase]) -> None:
+        if isinstance(destination, (str, Path)):
+            self._handle = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self.events_written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def iter_trace(source: Union[str, Path, io.TextIOBase]) -> Iterator[TraceEvent]:
+    """Yield events from a JSONL trace file or open text handle."""
+    if isinstance(source, (str, Path)):
+        handle = open(source, "r", encoding="utf-8")
+        owns = True
+    else:
+        handle = source
+        owns = False
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield TraceEvent.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ReproError(
+                    f"malformed trace line {lineno}: {exc}"
+                ) from exc
+    finally:
+        if owns:
+            handle.close()
+
+
+def read_trace(source: Union[str, Path, io.TextIOBase]) -> List[TraceEvent]:
+    """Load a whole JSONL trace into memory."""
+    return list(iter_trace(source))

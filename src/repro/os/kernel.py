@@ -24,10 +24,15 @@ from ..invariants import check_fault_invariants, invariants_enabled
 from ..mem.buddy import BuddyAllocator
 from ..mem.pcp import PerCpuPageCache
 from ..mem.physical import FrameState, PhysicalMemory
+from ..obs.histogram import Log2Histogram
+from ..obs.trace import tracepoint
 from ..pagetable.pte import PteFlags, pte_flags, pte_frame
 from .fault import FaultKind, FaultOutcome, default_alloc
 from .process import Process
 from .vma import Protection, Vma
+
+_tp_fault_enter = tracepoint("fault.enter")
+_tp_fault_exit = tracepoint("fault.exit")
 
 
 @dataclass
@@ -48,9 +53,11 @@ class KernelStats:
     ca_fallback_faults: int = 0
     pages_freed: int = 0
     fault_cycles: int = 0
-    #: Per-fault handler latency samples (kernel-wide, all processes);
-    #: the tail exposes THP-style compaction stalls.
-    fault_latencies: List[int] = field(default_factory=list)
+    #: Per-fault handler latency distribution (kernel-wide, all
+    #: processes); the tail exposes THP-style compaction stalls. A
+    #: bounded log2 histogram, not a raw sample list -- query with
+    #: ``fault_latencies.percentile(0.99)`` / ``.mean`` / ``.max``.
+    fault_latencies: Log2Histogram = field(default_factory=Log2Histogram)
     reclaim_reports: List[ReclaimReport] = field(default_factory=list)
 
 
@@ -198,7 +205,17 @@ class GuestKernel:
         every fault and raise
         :class:`~repro.errors.InvariantViolation` on drift.
         """
+        if _tp_fault_enter.enabled:
+            _tp_fault_enter.emit(pid=process.pid, vpn=vpn, write=write)
         outcome = self._handle_fault(process, vpn, write)
+        if _tp_fault_exit.enabled:
+            _tp_fault_exit.emit(
+                pid=process.pid,
+                vpn=vpn,
+                kind=outcome.kind.name.lower(),
+                frame=outcome.frame,
+                cycles=outcome.cycles,
+            )
         if self.config.check_invariants or invariants_enabled():
             check_fault_invariants(self, process, vpn)
         return outcome
@@ -223,7 +240,7 @@ class GuestKernel:
                 process.faults += 1
                 self.stats.faults += 1
                 self.stats.fault_cycles += huge.cycles
-                self.stats.fault_latencies.append(huge.cycles)
+                self.stats.fault_latencies.record(huge.cycles)
                 return huge
         outcome = self._allocate_for_fault(process, vpn)
         process.page_table.map(vpn, outcome.frame, PteFlags.PRESENT)
@@ -231,7 +248,7 @@ class GuestKernel:
         process.faults += 1
         self.stats.faults += 1
         self.stats.fault_cycles += outcome.cycles
-        self.stats.fault_latencies.append(outcome.cycles)
+        self.stats.fault_latencies.record(outcome.cycles)
         return outcome
 
     def _try_thp_fault(self, process: Process, vpn: int, vma) -> Optional[FaultOutcome]:

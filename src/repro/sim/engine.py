@@ -23,6 +23,8 @@ from ..metrics.fragmentation import (
     fragmented_group_fraction,
     host_pt_fragmentation,
 )
+from ..obs.sampler import PeriodicSampler, standard_sampler
+from ..obs.trace import TRACER, tracepoint
 from ..os.kernel import GuestKernel
 from ..os.process import Process
 from ..pagetable.pte import PteFlags, pte_flags
@@ -42,6 +44,8 @@ from ..workloads.base import (
 from .machine import CoreContext, Machine
 from .results import RunResult, SimulationResult
 from .scheduler import RoundRobinScheduler
+
+_tp_sched_turn = tracepoint("sched.turn")
 
 
 class WorkloadRun:
@@ -194,6 +198,8 @@ class WorkloadRun:
             (op.block & (BLOCKS_PER_PAGE - 1)) << CACHE_BLOCK_SHIFT
         )
         cycles += self.core.hierarchy.access(data_addr, "data")
+        if TRACER.active:
+            TRACER.advance(cycles)
         if self.measuring:
             self.counters.accesses += 1
             self.counters.cycles += cycles
@@ -209,7 +215,7 @@ class WorkloadRun:
                 if self.measuring:
                     self.counters.faults += 1
                     self.counters.fault_cycles += outcome.cycles
-                    self.counters.fault_latencies.append(outcome.cycles)
+                    self.counters.fault_latencies.record(outcome.cycles)
         result = self.walker.walk(vpn)
         if result.faulted:
             outcome = self.kernel.handle_fault(self.process, vpn, write)
@@ -217,7 +223,7 @@ class WorkloadRun:
             if self.measuring:
                 self.counters.faults += 1
                 self.counters.fault_cycles += outcome.cycles
-                self.counters.fault_latencies.append(outcome.cycles)
+                self.counters.fault_latencies.record(outcome.cycles)
             result = self.walker.walk(vpn)
             if result.faulted:  # pragma: no cover - defensive
                 raise SimulationError(f"walk still faulting after fault at {vpn:#x}")
@@ -256,7 +262,12 @@ class Simulation:
         self.runs: List[WorkloadRun] = []
         self._runs_by_pid: Dict[int, WorkloadRun] = {}
         self.turns = 0
+        self._samplers: List[PeriodicSampler] = []
         self.kernel.add_unmap_observer(self._on_unmap)
+        if TRACER.sample_interval_cycles:
+            self.add_sampler(
+                standard_sampler(self, TRACER.sample_interval_cycles)
+            )
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -290,15 +301,32 @@ class Simulation:
         if run is not None:
             run.core.invalidate_translation(vpn)
 
+    def add_sampler(self, sampler: PeriodicSampler) -> PeriodicSampler:
+        """Register a :class:`~repro.obs.sampler.PeriodicSampler` to be
+        driven from this simulation's turn loop."""
+        self._samplers.append(sampler)
+        return sampler
+
     # ------------------------------------------------------------------ #
     # Driving
     # ------------------------------------------------------------------ #
 
     def turn(self) -> int:
-        """One scheduler round plus a reclaim-daemon wakeup."""
+        """One scheduler round plus a reclaim-daemon wakeup.
+
+        Turn boundaries also drive the observability plumbing: the tracer's
+        turn counter, the ``sched.turn`` tracepoint, and any registered
+        periodic samplers (which see post-reclaim state, so turn-cadence
+        series match the legacy per-experiment sampling loops exactly).
+        """
         executed = self.scheduler.turn()
         self.kernel.run_reclaim()
         self.turns += 1
+        TRACER.turn = self.turns
+        if _tp_sched_turn.enabled:
+            _tp_sched_turn.emit(turn=self.turns, ops=executed)
+        for sampler in self._samplers:
+            sampler.on_turn()
         return executed
 
     def run_until_phase(

@@ -1,75 +1,47 @@
-"""Time-series sampling of simulation state.
+"""Time-series sampling of simulation state (compatibility shim).
 
-A :class:`TurnSampler` wraps a :class:`~repro.sim.engine.Simulation` and
-records configurable probes every N scheduler turns -- the simulator's
-equivalent of the paper's "measured every second" methodology (§6.2).
-Probes are plain callables over the simulation, so any quantity can be
-tracked: free memory, per-process RSS, reservation occupancy, the
-fragmentation metric, cache hit rates, ...
+The sampling machinery now lives in :mod:`repro.obs.sampler`: the shared
+:class:`~repro.obs.sampler.PeriodicSampler` is driven from the engine's
+turn loop (register with :meth:`~repro.sim.engine.Simulation.add_sampler`)
+and also feeds ``sample.*`` tracepoints when tracing is enabled. This
+module keeps the original names importable:
+
+* :class:`TimeSeries` -- re-exported unchanged;
+* :class:`TurnSampler` -- the legacy self-driving sampler, now a thin
+  subclass of :class:`~repro.obs.sampler.PeriodicSampler`.
+
+Example::
+
+    sampler = TurnSampler(sim, every=50)
+    sampler.add_probe("free", lambda s: s.kernel.free_fraction)
+    sampler.add_probe(
+        "rss", lambda s: run.process.rss_pages
+    )
+    sampler.run_until(lambda: run.finished)
+    print(sampler.series["free"].peak)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable
 
-from .engine import Simulation
+from ..obs.sampler import PeriodicSampler, Probe, TimeSeries
 
-#: A probe reads one number from the simulation.
-Probe = Callable[[Simulation], float]
+__all__ = ["Probe", "TimeSeries", "TurnSampler"]
 
 
-@dataclass
-class TimeSeries:
-    """Samples of one probe: (turn, value) pairs."""
-
-    name: str
-    points: List[Tuple[int, float]] = field(default_factory=list)
-
-    def values(self) -> List[float]:
-        return [value for _turn, value in self.points]
-
-    @property
-    def peak(self) -> float:
-        return max(self.values()) if self.points else 0.0
-
-    @property
-    def final(self) -> float:
-        return self.points[-1][1] if self.points else 0.0
-
-
-class TurnSampler:
+class TurnSampler(PeriodicSampler):
     """Runs a simulation while sampling probes on a fixed turn cadence.
 
-    Example::
-
-        sampler = TurnSampler(sim, every=50)
-        sampler.add_probe("free", lambda s: s.kernel.free_fraction)
-        sampler.add_probe(
-            "rss", lambda s: run.process.rss_pages
-        )
-        sampler.run_until(lambda: run.finished)
-        print(sampler.series["free"].peak)
+    Unlike a plain :class:`~repro.obs.sampler.PeriodicSampler` (which the
+    engine drives once registered via ``Simulation.add_sampler``), a
+    ``TurnSampler`` drives the simulation itself from :meth:`run_until`
+    without needing registration -- the original standalone behaviour.
     """
 
-    def __init__(self, simulation: Simulation, every: int = 50) -> None:
-        if every <= 0:
-            raise ValueError("sampling cadence must be positive")
-        self.simulation = simulation
+    def __init__(self, simulation, every: int = 50) -> None:
+        super().__init__(simulation, every_turns=every)
         self.every = every
-        self.series: Dict[str, TimeSeries] = {}
-
-    def add_probe(self, name: str, probe: Probe) -> None:
-        """Register a named probe (overwrites an existing name)."""
-        self.series[name] = TimeSeries(name)
-        self._probes = getattr(self, "_probes", {})
-        self._probes[name] = probe
-
-    def sample(self) -> None:
-        """Take one sample of every probe right now."""
-        turn = self.simulation.turns
-        for name, probe in getattr(self, "_probes", {}).items():
-            self.series[name].points.append((turn, probe(self.simulation)))
 
     def run_until(
         self, done: Callable[[], bool], max_turns: int = 1_000_000
@@ -82,6 +54,5 @@ class TurnSampler:
             if done():
                 break
             self.simulation.turn()
-            if self.simulation.turns % self.every == 0:
-                self.sample()
+            self.on_turn()
         self.sample()

@@ -11,6 +11,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..config import TlbConfig
+from ..obs.trace import tracepoint
+
+_tp_miss = tracepoint("tlb.miss")
 
 
 class Tlb:
@@ -91,6 +94,8 @@ class TlbHierarchy:
         frame = self.l2.lookup(vpn)
         if frame is not None:
             self.l1.insert(vpn, frame)
+        elif _tp_miss.enabled:
+            _tp_miss.emit(vpn=vpn)
         return frame
 
     def insert(self, vpn: int, frame: int) -> None:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.pwc import PageWalkCache
+from ..obs.trace import tracepoint
 from ..pagetable.radix import PageTable
 from ..pagetable.walker import PageWalker
 from ..units import PAGE_SHIFT, pte_address
@@ -31,6 +32,10 @@ from .hypervisor import HostKernel, VmHandle
 
 #: Capacity of the nested TLB (gfn -> hfn for guest-PT node pages).
 NESTED_TLB_ENTRIES = 64
+
+_tp_walk_enter = tracepoint("walk.enter")
+_tp_walk_step = tracepoint("walk.step")
+_tp_walk_exit = tracepoint("walk.exit")
 
 
 @dataclass
@@ -159,6 +164,8 @@ class NestedWalker:
             if hit is not None:
                 hit_level, _frame = hit
                 start_depth = min(self.guest_pt.levels - hit_level, len(path))
+        if _tp_walk_enter.enabled:
+            _tp_walk_enter.emit(vpn=gvpn, start_depth=start_depth)
 
         for level, node_frame, index in path[start_depth:]:
             # The gPTE lives at a guest-physical address; locate it in host
@@ -175,6 +182,13 @@ class NestedWalker:
             latency = self.hierarchy.access(gpte_hpa, "gpt")
             cycles += latency
             guest_accesses += 1
+            if _tp_walk_step.enabled:
+                _tp_walk_step.emit(
+                    vpn=gvpn,
+                    level=level,
+                    cycles=latency + walk_cycles,
+                    host_accesses=walk_accesses,
+                )
             if self.guest_pwc is not None:
                 self.guest_pwc.fill(gvpn, level, node_frame)
 
@@ -194,6 +208,15 @@ class NestedWalker:
         self.walks += 1
         self.total_cycles += cycles
         self.total_host_cycles += host_cycles
+        if _tp_walk_exit.enabled:
+            _tp_walk_exit.emit(
+                vpn=gvpn,
+                cycles=cycles,
+                host_cycles=host_cycles,
+                guest_accesses=guest_accesses,
+                host_accesses=host_accesses,
+                faulted=host_frame is None,
+            )
         return NestedWalkResult(
             host_frame=host_frame,
             guest_frame=guest_frame,

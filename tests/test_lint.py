@@ -56,6 +56,8 @@ def test_registry_has_expected_rules():
         "address-division",
         "mutable-default",
         "bare-assert",
+        "raw-output",
+        "tracepoint-naming",
     } <= names
     assert set(RULES) == names
 
@@ -350,3 +352,60 @@ def test_module_entry_point_detects_seeded_violation(tmp_path):
     )
     assert proc.returncode == 1
     assert "global-random" in proc.stdout
+
+
+# ---------------------------------------------------------------------- #
+# observability: raw-output
+# ---------------------------------------------------------------------- #
+
+def test_raw_output_flags_print_in_library_code():
+    src = "def helper(value):\n    print(value)\n"
+    assert rules_hit(src) == ["raw-output"]
+
+
+def test_raw_output_flags_stdlib_logging():
+    src = "import logging\n\ndef helper():\n    logging.warning('drift')\n"
+    assert rules_hit(src) == ["raw-output"]
+
+
+def test_raw_output_exempts_cli_files():
+    src = "def helper(value):\n    print(value)\n"
+    assert rules_hit(src, path="repro/obs/cli.py") == []
+    assert rules_hit(src, path="repro/__main__.py") == []
+    assert rules_hit(src, path="repro/experiments/runner.py") == []
+
+
+def test_raw_output_exempts_main_entry_function():
+    src = "def main(argv=None):\n    print('usage: ...')\n    return 0\n"
+    assert rules_hit(src) == []
+
+
+def test_raw_output_exempts_test_code():
+    src = "def helper(value):\n    print(value)\n"
+    assert rules_hit(src, path="tests/test_x.py") == []
+
+
+# ---------------------------------------------------------------------- #
+# observability: tracepoint-naming
+# ---------------------------------------------------------------------- #
+
+def test_tracepoint_naming_flags_bad_literal():
+    src = "tp = tracepoint('BuddySplit')\n"
+    assert rules_hit(src) == ["tracepoint-naming"]
+
+
+def test_tracepoint_naming_requires_a_dot():
+    src = "tp = tracepoint('buddy')\n"
+    assert rules_hit(src) == ["tracepoint-naming"]
+
+
+def test_tracepoint_naming_accepts_dotted_lowercase():
+    src = "tp = tracepoint('buddy.split')\n"
+    assert rules_hit(src) == []
+    src = "tp = TRACER.tracepoint('walk.step')\n"
+    assert rules_hit(src) == []
+
+
+def test_tracepoint_naming_skips_dynamic_names():
+    src = "tp = tracepoint('sample.' + token)\n"
+    assert rules_hit(src) == []
