@@ -16,9 +16,10 @@ Reproduction targets, from the paper's positioning (§2.3, §7):
 
 import dataclasses
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments.baselines import render_baselines, run_baselines
+from repro.experiments.runner import baselines_snapshots
 from repro.experiments.sec62 import StrideEighthWorkload
 from repro.metrics.report import Table
 from repro.sim.engine import Simulation
@@ -28,6 +29,7 @@ def test_baseline_comparison(benchmark, platform, seed):
     result = run_once(benchmark, run_baselines, platform, "pagerank", seed)
     print()
     print(render_baselines(result))
+    emit_snapshots("baselines", baselines_snapshots(result))
 
     rows = result.rows
     # Fragmentation ordering: default > ca > ptemagnet(=1); THP also ~1.

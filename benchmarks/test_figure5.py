@@ -7,15 +7,17 @@ Reproduction targets:
   fragmentation in the host PT to almost 1 for all evaluated benchmarks").
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import render_figure5, run_figure5
+from repro.experiments.runner import figure5_snapshots
 
 
 def test_figure5(benchmark, platform, seed):
     result = run_once(benchmark, run_figure5, platform, seed=seed)
     print()
     print(render_figure5(result))
+    emit_snapshots("figure5", figure5_snapshots(result))
 
     assert len(result.fragmentation) == 8
     for name, (default, ptemagnet) in result.fragmentation.items():

@@ -8,15 +8,17 @@ Reproduction targets:
   and, critically, no slowdown beyond noise.
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import render_figure6, run_figure6
+from repro.experiments.runner import figure6_snapshots
 
 
 def test_figure6(benchmark, platform, seed):
     result = run_once(benchmark, run_figure6, platform, seed=seed)
     print()
     print(render_figure6(result))
+    emit_snapshots("figure6", figure6_snapshots(result))
 
     assert len(result.improvements) == 8
     for name, improvement in result.improvements.items():

@@ -13,15 +13,17 @@ default kernel *more* -- so the model's Figure 7 gains come out at or
 above its Figure 6 gains instead.
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import render_figure7, run_figure7
+from repro.experiments.runner import figure7_snapshots
 
 
 def test_figure7(benchmark, platform, seed):
     result = run_once(benchmark, run_figure7, platform, seed=seed)
     print()
     print(render_figure7(result))
+    emit_snapshots("figure7", figure7_snapshots(result))
 
     assert len(result.improvements) == 8
     for name, improvement in result.improvements.items():

@@ -7,13 +7,14 @@ Reproduction targets:
   unmapped reservations (the paper's worst-case construction).
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import (
     render_sec62,
     run_adversarial_sec62,
     run_sec62,
 )
+from repro.experiments.runner import sec62_snapshots
 
 
 def run_both(platform, seed):
@@ -26,6 +27,7 @@ def test_sec62(benchmark, platform, seed):
     result, adversarial = run_once(benchmark, run_both, platform, seed)
     print()
     print(render_sec62(result, adversarial))
+    emit_snapshots("sec62", sec62_snapshots(result, adversarial))
 
     peaks = result.peaks()
     assert len(peaks) == 8

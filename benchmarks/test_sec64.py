@@ -5,15 +5,17 @@ marginally *faster* because 7 of 8 buddy-allocator calls become PaRT
 look-ups (paper: -0.5%).
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import render_sec64, run_sec64
+from repro.experiments.runner import sec64_snapshots
 
 
 def test_sec64(benchmark, platform, seed):
     result = run_once(benchmark, run_sec64, platform, seed=seed)
     print()
     print(render_sec64(result))
+    emit_snapshots("sec64", sec64_snapshots(result))
 
     # Faster, but only slightly: the allocator call is a small part of a
     # page fault's cost.

@@ -8,15 +8,17 @@ Reproduction targets (shape, not absolute numbers):
 * the fragmentation metric roughly triples (paper: 2.8 -> 6.8).
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import render_table1, run_table1
+from repro.experiments.runner import table1_snapshots
 
 
 def test_table1(benchmark, platform, seed):
     result = run_once(benchmark, run_table1, platform, seed)
     print()
     print(render_table1(result))
+    emit_snapshots("table1", table1_snapshots(result))
 
     rows = dict(result.rows())
     assert rows["Execution time"] > 1.0

@@ -6,15 +6,17 @@ Reproduction targets (all changes negative, as in the paper):
 * host-PT memory accesses fall substantially more than guest-PT ones.
 """
 
-from conftest import run_once
+from conftest import emit_snapshots, run_once
 
 from repro.experiments import render_table4, run_table4
+from repro.experiments.runner import table4_snapshots
 
 
 def test_table4(benchmark, platform, seed):
     result = run_once(benchmark, run_table4, platform, seed)
     print()
     print(render_table4(result))
+    emit_snapshots("table4", table4_snapshots(result))
 
     rows = dict(result.rows())
     assert rows["Host page table fragmentation"] < -40.0  # paper: -66%

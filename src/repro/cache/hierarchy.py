@@ -76,6 +76,9 @@ class CacheHierarchy:
         # how co-runner cache contention reaches the measured benchmark.
         self.llc = shared_llc if shared_llc is not None else SetAssociativeCache(config.llc)
         self.streams: Dict[str, StreamCounters] = {}
+        #: Which level served the most recent access; read by the
+        #: cycle-attribution profiler to key walk steps by serving level.
+        self.last_outcome: AccessOutcome = AccessOutcome.L1
 
     def counters(self, stream: str) -> StreamCounters:
         """Counters for ``stream`` (created on first use)."""
@@ -109,6 +112,7 @@ class CacheHierarchy:
             self.l1.fill(block)
             if _tp_miss.enabled:
                 _tp_miss.emit(block=block, stream=stream)
+        self.last_outcome = outcome
         counters = self.counters(stream)
         counters.accesses += 1
         counters.cycles += latency

@@ -27,6 +27,7 @@ from typing import Optional
 from ..errors import OutOfMemoryError
 from ..mem.buddy import BuddyAllocator
 from ..mem.physical import FrameState
+from ..obs.profile import PROFILER
 from ..obs.trace import tracepoint
 from ..units import RESERVATION_ORDER
 from .part import PageReservationTable
@@ -133,6 +134,8 @@ class PTEMagnetAllocator:
                 if _tp_complete.enabled:
                     _tp_complete.emit(pid=owner, group=group)
             self.stats.reservation_hits += 1
+            if PROFILER.enabled:
+                PROFILER.add(("alloc", "part", "hit"), 0)
             if _tp_hit.enabled:
                 _tp_hit.emit(
                     pid=owner,
@@ -157,6 +160,8 @@ class PTEMagnetAllocator:
         except OutOfMemoryError:
             frame = self.buddy.alloc_frame(owner=owner, state=FrameState.USER)
             self.stats.fallback_single_pages += 1
+            if PROFILER.enabled:
+                PROFILER.add(("alloc", "part", "fallback"), 0)
             if _tp_fallback.enabled:
                 _tp_fallback.emit(pid=owner, group=group, frame=frame)
             return FaultPathResult(
@@ -173,6 +178,8 @@ class PTEMagnetAllocator:
         self.buddy.memory.set_state(frame, FrameState.USER, owner)
         part.insert(reservation)
         self.stats.reservations_created += 1
+        if PROFILER.enabled:
+            PROFILER.add(("alloc", "part", "new"), 0)
         if _tp_new.enabled:
             _tp_new.emit(
                 pid=owner,

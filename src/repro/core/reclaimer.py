@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..mem.buddy import BuddyAllocator
+from ..obs.profile import PROFILER
 from ..obs.trace import tracepoint
 from .part import PageReservationTable
 
@@ -92,6 +93,12 @@ class ReservationReclaimer:
             released = self._reclaim_process(parts_by_pid[pid], report)
             if released:
                 report.processes_walked.append(pid)
+        if PROFILER.enabled:
+            PROFILER.add(("reclaim", "pass"), 0)
+            if report.pages_released:
+                PROFILER.add(
+                    ("reclaim", "pages"), 0, count=report.pages_released
+                )
         if _tp_done.enabled:
             _tp_done.emit(
                 pages_released=report.pages_released,

@@ -17,10 +17,11 @@ Encodes the paper's measurement procedure (§5, §6.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import PlatformConfig
 from ..metrics.counters import percent_change
+from ..obs.profile import PROFILER, ProfileNode
 from ..sim.engine import Simulation, WorkloadRun
 from ..sim.results import RunResult
 from ..workloads.base import WorkloadPhase
@@ -46,6 +47,10 @@ class ColocationOutcome:
     benchmark: RunResult
     platform: PlatformConfig
     simulation: Simulation
+    #: Cycle-attribution tree of the measurement window, captured when
+    #: the global :data:`~repro.obs.profile.PROFILER` was enabled during
+    #: the run (``--profile``); ``None`` otherwise.
+    profile: Optional[ProfileNode] = None
 
     @property
     def cycles(self) -> int:
@@ -83,9 +88,18 @@ def run_colocated(
     for _ in range(warmup_turns):
         sim.turn()
     bench.start_measurement()
+    # Align the profiler's window with the measurement window so the
+    # attribution tree covers exactly what the counters cover.
+    profile_mark = PROFILER.mark() if PROFILER.enabled else None
     sim.run_until_finished(bench)
+    profile = (
+        PROFILER.since(profile_mark) if profile_mark is not None else None
+    )
     return ColocationOutcome(
-        benchmark=sim.result_for(bench), platform=platform, simulation=sim
+        benchmark=sim.result_for(bench),
+        platform=platform,
+        simulation=sim,
+        profile=profile,
     )
 
 

@@ -14,6 +14,13 @@ JSONL trace keyed to modelled cycles (inspect with ``python -m repro.obs
 summarize`` or convert for Perfetto with ``python -m repro.obs export``);
 ``--sample-interval N`` additionally records the standard time series
 (fragmentation, free lists, PaRT occupancy, ...) every N modelled cycles.
+
+``--metrics-out PATH`` writes the experiment's measurements as a metrics
+snapshot document (compare two with ``python -m repro.obs diff``);
+``--profile`` turns on the cycle-attribution profiler so snapshots embed
+attribution trees, and ``--flamegraph PATH`` dumps the run's folded
+stacks for flamegraph.pl / speedscope. These three require a single
+``--experiment`` (not ``all``).
 """
 
 from __future__ import annotations
@@ -22,10 +29,13 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Mapping, Tuple
 
 from ..config import PlatformConfig
+from ..metrics.collect import snapshot_outcome
+from ..metrics.registry import REGISTRY, MetricsSnapshot, write_snapshots
 from ..metrics.report import Table
+from ..obs.profile import PROFILER
 from ..obs.sinks import JsonlSink
 from ..obs.trace import TRACER
 from ..workloads.registry import table3_rows
@@ -38,25 +48,133 @@ from .sec64 import render_sec64, run_sec64
 from .table1 import render_table1, run_table1
 from .table4 import render_table4, run_table4
 
+#: Wrapper signature: (platform, seed) -> (rendered text, JSON payload,
+#: labelled metrics snapshots for --metrics-out).
+ExperimentFn = Callable[
+    [PlatformConfig, int], Tuple[str, dict, Dict[str, MetricsSnapshot]]
+]
 
-def _run_table1(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+
+def _metric_token(name: str) -> str:
+    """Benchmark names as metric-name components (stress-ng -> stress_ng)."""
+    return name.replace("-", "_").replace(".", "_").lower()
+
+
+def _gauge_snapshot(
+    label: str, values: Mapping[str, float]
+) -> MetricsSnapshot:
+    """A snapshot of experiment-level gauges, registered on the fly."""
+    snapshot = MetricsSnapshot(label)
+    for name in sorted(values):
+        REGISTRY.gauge(name)
+        snapshot.set(name, values[name])
+    return snapshot
+
+
+# -------------------------------------------------------------------- #
+# Result -> labelled snapshots. Shared by the CLI wrappers below and by
+# the benchmark suite (REPRO_SNAPSHOT_DIR), so both emit identical JSON.
+# -------------------------------------------------------------------- #
+
+def table1_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    return {
+        "standalone": snapshot_outcome("standalone", result.standalone),
+        "colocated": snapshot_outcome("colocated", result.colocated),
+    }
+
+
+def table4_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    comparison = result.comparison
+    return {
+        "default": snapshot_outcome("default", comparison.default),
+        "ptemagnet": snapshot_outcome("ptemagnet", comparison.ptemagnet),
+    }
+
+
+def figure5_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    gauges = {}
+    for name, (before, after) in result.fragmentation.items():
+        token = _metric_token(name)
+        gauges[f"figure5.{token}.default"] = before
+        gauges[f"figure5.{token}.ptemagnet"] = after
+    return {"figure5": _gauge_snapshot("figure5", gauges)}
+
+
+def figure6_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    gauges = {
+        f"figure6.improvement.{_metric_token(name)}": value
+        for name, value in result.improvements.items()
+    }
+    gauges.update(
+        {
+            f"figure6.low_pressure.{_metric_token(name)}": value
+            for name, value in result.low_pressure.items()
+        }
+    )
+    gauges["figure6.geomean"] = result.geomean
+    return {"figure6": _gauge_snapshot("figure6", gauges)}
+
+
+def figure7_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    gauges = {
+        f"figure7.improvement.{_metric_token(name)}": value
+        for name, value in result.improvements.items()
+    }
+    gauges["figure7.geomean"] = result.geomean
+    return {"figure7": _gauge_snapshot("figure7", gauges)}
+
+
+def sec62_snapshots(result, adversarial) -> Dict[str, MetricsSnapshot]:
+    gauges = {
+        f"sec62.peak.{_metric_token(name)}": value
+        for name, value in result.peaks().items()
+    }
+    gauges["sec62.adversarial_ratio"] = adversarial
+    return {"sec62": _gauge_snapshot("sec62", gauges)}
+
+
+def sec64_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    gauges = {
+        "sec64.default_cycles": result.default_cycles,
+        "sec64.ptemagnet_cycles": result.ptemagnet_cycles,
+        "sec64.change_percent": result.change_percent,
+    }
+    return {"sec64": _gauge_snapshot("sec64", gauges)}
+
+
+def baselines_snapshots(result) -> Dict[str, MetricsSnapshot]:
+    gauges = {}
+    for mode, row in result.rows.items():
+        token = _metric_token(mode)
+        gauges[f"baselines.{token}.cycles"] = row.cycles
+        gauges[f"baselines.{token}.walk_cycles"] = row.walk_cycles
+        gauges[f"baselines.{token}.host_pt_fragmentation"] = (
+            row.host_pt_fragmentation
+        )
+        gauges[f"baselines.{token}.improvement_percent"] = (
+            result.improvement_over_default(mode)
+        )
+    return {"baselines": _gauge_snapshot("baselines", gauges)}
+
+
+def _run_table1(platform, seed):
     result = run_table1(platform, seed)
     payload = {name: change for name, change in result.rows()}
     before, after = result.fragmentation_before_after
     payload["fragmentation_before"] = before
     payload["fragmentation_after"] = after
-    return render_table1(result), payload
+    return render_table1(result), payload, table1_snapshots(result)
 
 
-def _run_table2(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_table2(platform, seed):
     table = Table(["Parameter", "Value"], title="Table 2: simulated platform")
     rows = platform.table2_rows()
     for name, value in rows:
         table.add_row(name, value)
-    return table.render(), dict(rows)
+    return table.render(), dict(rows), {}
 
 
-def _run_table3(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_table3(platform, seed):
     table = Table(
         ["Role", "Name", "Description"],
         title="Table 3: evaluated benchmarks and co-runners",
@@ -65,58 +183,68 @@ def _run_table3(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
     for role, name, description in rows:
         table.add_row(role, name, description)
     payload = {name: {"role": role, "description": desc} for role, name, desc in rows}
-    return table.render(), payload
+    return table.render(), payload, {}
 
 
-def _run_table4(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_table4(platform, seed):
     result = run_table4(platform, seed)
-    return render_table4(result), {name: change for name, change in result.rows()}
+    payload = {name: change for name, change in result.rows()}
+    return render_table4(result), payload, table4_snapshots(result)
 
 
-def _run_figure5(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_figure5(platform, seed):
     result = run_figure5(platform, seed=seed)
-    return render_figure5(result), {
+    payload = {
         name: {"default": before, "ptemagnet": after}
         for name, (before, after) in result.fragmentation.items()
     }
+    return render_figure5(result), payload, figure5_snapshots(result)
 
 
-def _run_figure6(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_figure6(platform, seed):
     result = run_figure6(platform, seed=seed)
-    return render_figure6(result), {
+    payload = {
         "improvements": result.improvements,
         "low_pressure": result.low_pressure,
         "geomean": result.geomean,
     }
+    return render_figure6(result), payload, figure6_snapshots(result)
 
 
-def _run_figure7(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_figure7(platform, seed):
     result = run_figure7(platform, seed=seed)
-    return render_figure7(result), {
+    payload = {
         "improvements": result.improvements,
         "geomean": result.geomean,
     }
+    return render_figure7(result), payload, figure7_snapshots(result)
 
 
-def _run_sec62(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_sec62(platform, seed):
     result = run_sec62(platform, seed=seed)
     adversarial = run_adversarial_sec62(platform, seed=seed)
-    return render_sec62(result, adversarial), {
+    payload = {
         "peaks_percent": result.peaks(),
         "adversarial_ratio": adversarial,
     }
+    return (
+        render_sec62(result, adversarial),
+        payload,
+        sec62_snapshots(result, adversarial),
+    )
 
 
-def _run_sec64(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_sec64(platform, seed):
     result = run_sec64(platform, seed=seed)
-    return render_sec64(result), {
+    payload = {
         "default_cycles": result.default_cycles,
         "ptemagnet_cycles": result.ptemagnet_cycles,
         "change_percent": result.change_percent,
     }
+    return render_sec64(result), payload, sec64_snapshots(result)
 
 
-def _run_baselines(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
+def _run_baselines(platform, seed):
     result = run_baselines(platform, "pagerank", seed)
     payload = {
         mode: {
@@ -127,10 +255,10 @@ def _run_baselines(platform: PlatformConfig, seed: int) -> Tuple[str, dict]:
         }
         for mode, row in result.rows.items()
     }
-    return render_baselines(result), payload
+    return render_baselines(result), payload, baselines_snapshots(result)
 
 
-EXPERIMENTS: Dict[str, Callable[[PlatformConfig, int], Tuple[str, dict]]] = {
+EXPERIMENTS: Dict[str, ExperimentFn] = {
     "baselines": _run_baselines,
     "table1": _run_table1,
     "table2": _run_table2,
@@ -180,15 +308,42 @@ def main(argv=None) -> int:
         help="record the standard time series every CYCLES modelled "
         "cycles (requires --trace; 0 disables)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the experiment's metrics snapshot(s) as JSON to PATH "
+        "(compare runs with: python -m repro.obs diff)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the cycle-attribution profiler (snapshots embed "
+        "attribution trees)",
+    )
+    parser.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        help="write the run's folded stacks to PATH (requires --profile; "
+        "render with flamegraph.pl or speedscope)",
+    )
     args = parser.parse_args(argv)
     if args.sample_interval < 0:
         parser.error("--sample-interval must be non-negative")
     if args.sample_interval and not args.trace:
         parser.error("--sample-interval requires --trace")
+    if args.flamegraph and not args.profile:
+        parser.error("--flamegraph requires --profile")
+    if (
+        args.metrics_out or args.profile or args.flamegraph
+    ) and args.experiment == "all":
+        parser.error(
+            "--metrics-out/--profile/--flamegraph need a single --experiment"
+        )
 
     platform = PlatformConfig()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     payloads = {}
+    snapshots: Dict[str, MetricsSnapshot] = {}
     sink = None
     if args.trace:
         sink = JsonlSink(args.trace)
@@ -200,15 +355,23 @@ def main(argv=None) -> int:
         ]
         TRACER.enable(*(categories or ["*"]))
         TRACER.sample_interval_cycles = args.sample_interval
+    if args.profile:
+        PROFILER.reset()
+        PROFILER.enable()
     try:
         for name in names:
             started = time.perf_counter()
-            text, payload = EXPERIMENTS[name](platform, args.seed)
+            text, payload, experiment_snapshots = EXPERIMENTS[name](
+                platform, args.seed
+            )
             elapsed = time.perf_counter() - started
             print(text)
             print(f"[{name}: {elapsed:.1f}s]\n")
             payloads[name] = payload
+            snapshots = experiment_snapshots
     finally:
+        if args.profile:
+            PROFILER.disable()
         if sink is not None:
             TRACER.detach(sink)
             TRACER.disable()
@@ -218,6 +381,27 @@ def main(argv=None) -> int:
                 f"wrote {sink.events_written} trace events to {args.trace} "
                 "(inspect: python -m repro.obs summarize)"
             )
+    if args.metrics_out:
+        if snapshots:
+            write_snapshots(args.metrics_out, snapshots)
+            labels = ", ".join(sorted(snapshots))
+            print(
+                f"wrote {args.metrics_out} (snapshots: {labels}; compare "
+                "with: python -m repro.obs diff)"
+            )
+        else:
+            print(
+                f"{args.experiment} produces no metrics snapshot; "
+                f"skipped {args.metrics_out}"
+            )
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as handle:
+            folded = PROFILER.to_folded()
+            handle.write(folded + ("\n" if folded else ""))
+        print(
+            f"wrote {args.flamegraph} (render with flamegraph.pl or "
+            "https://speedscope.app)"
+        )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payloads, handle, indent=2, sort_keys=True)

@@ -12,6 +12,12 @@ lower-case ``layer.event`` convention (the same pattern
 :data:`repro.obs.trace.TRACEPOINT_NAME_RE` enforces at runtime);
 dynamically built names (e.g. the sampler's ``sample.*`` probes) are
 validated at registration instead.
+
+Metric names follow the same convention: literal first arguments of
+``counter()`` / ``gauge()`` / ``histogram()`` registration calls must be
+dotted lower-case paths, and library code must register counters through
+the metrics registry instead of parking values under free-floating
+string keys in ``PerfCounters.extra``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,12 @@ CLI_FILE_NAMES = frozenset({"__main__.py", "cli.py", "runner.py"})
 #: Mirrors ``repro.obs.trace.TRACEPOINT_NAME_RE`` (kept literal here so
 #: the linter does not import simulator code).
 TRACEPOINT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Mirrors ``repro.metrics.registry.METRIC_NAME_RE`` (same shape).
+METRIC_NAME_RE = TRACEPOINT_NAME_RE
+
+#: Registration methods of ``repro.metrics.registry.MetricsRegistry``.
+METRIC_REGISTRATION_METHODS = frozenset({"counter", "gauge", "histogram"})
 
 
 def _main_function_spans(tree: ast.Module) -> List[Tuple[int, int]]:
@@ -123,3 +135,76 @@ class TracepointNamingRule(Rule):
                     f"tracepoint name {arg.value!r} is not a dotted "
                     "lower-case 'layer.event' path",
                 )
+
+
+@register
+class MetricsNamingRule(Rule):
+    """Enforce dotted lower-case metric names and registry registration."""
+
+    name = "metrics-naming"
+    category = "observability"
+    description = (
+        "metric names must be dotted lower-case 'family.metric' paths "
+        "registered through the metrics registry, not free-floating "
+        "dict keys"
+    )
+
+    @staticmethod
+    def _is_registration_call(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in METRIC_REGISTRATION_METHODS
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in METRIC_REGISTRATION_METHODS
+        )
+
+    @staticmethod
+    def _extra_key(node: ast.expr) -> "ast.Constant | None":
+        """String-literal key of an ``<obj>.extra[...]`` subscript."""
+        if not isinstance(node, ast.Subscript):
+            return None
+        target = node.value
+        if not (isinstance(target, ast.Attribute) and target.attr == "extra"):
+            return None
+        key = node.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return key
+        return None
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                if not self._is_registration_call(node) or not node.args:
+                    continue
+                arg = node.args[0]
+                if not isinstance(arg, ast.Constant) or not isinstance(
+                    arg.value, str
+                ):
+                    continue  # dynamic names are validated at registration
+                if not METRIC_NAME_RE.match(arg.value):
+                    yield ctx.finding(
+                        arg,
+                        self,
+                        f"metric name {arg.value!r} is not a dotted "
+                        "lower-case 'family.metric' path",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                if ctx.is_test_code:
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    key = self._extra_key(target)
+                    if key is None or METRIC_NAME_RE.match(key.value):
+                        continue
+                    yield ctx.finding(
+                        key,
+                        self,
+                        f"free-floating counter key {key.value!r}; "
+                        "register a dotted metric through the metrics "
+                        "registry instead",
+                    )

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import OutOfMemoryError
+from ..obs.profile import PROFILER
 from ..obs.trace import tracepoint
 from .buddy import BuddyAllocator
 from .physical import FrameState
@@ -92,6 +93,8 @@ class PerCpuPageCache:
             entries = self._lists[cpu]
         else:
             self.stats.hits += 1
+            if PROFILER.enabled:
+                PROFILER.add(("alloc", "pcp", "hit"), 0)
         frame = entries.pop()
         self.buddy.memory.set_state(frame, state, owner)
         return frame
@@ -112,6 +115,8 @@ class PerCpuPageCache:
                 f"{self.buddy.memory.name}: pcp refill found no free pages"
             )
         self.stats.refills += 1
+        if PROFILER.enabled:
+            PROFILER.add(("alloc", "pcp", "refill"), 0, count=len(entries))
         if _tp_refill.enabled:
             _tp_refill.emit(cpu=cpu, pages=len(entries))
 
@@ -133,6 +138,8 @@ class PerCpuPageCache:
         for _ in range(drained):
             self.buddy.free(entries.pop(0))
         self.stats.drains += 1
+        if PROFILER.enabled:
+            PROFILER.add(("alloc", "pcp", "drain"), 0, count=drained)
         if _tp_drain.enabled:
             _tp_drain.emit(cpu=cpu, pages=drained)
 

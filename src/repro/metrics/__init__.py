@@ -1,5 +1,10 @@
-"""Measurement: perf-style counters, the host-PT fragmentation metric, and
-report formatting used by the experiment harnesses."""
+"""Measurement: perf-style counters, the host-PT fragmentation metric,
+the named-metric registry/snapshot layer, and report formatting used by
+the experiment harnesses.
+
+Import :mod:`repro.metrics.collect` (or call its collectors) to register
+the canonical metric schema into :data:`REGISTRY`.
+"""
 
 from .counters import MetricDelta, PerfCounters, percent_change
 from .fragmentation import (
@@ -7,16 +12,34 @@ from .fragmentation import (
     group_block_counts,
     host_pt_fragmentation,
 )
+from .registry import (
+    METRIC_NAME_RE,
+    REGISTRY,
+    MetricKind,
+    MetricsRegistry,
+    MetricsSnapshot,
+    MetricSpec,
+    load_snapshot,
+    write_snapshots,
+)
 from .report import Table, format_percent, render_series
 
 __all__ = [
+    "METRIC_NAME_RE",
+    "REGISTRY",
     "MetricDelta",
+    "MetricKind",
+    "MetricSpec",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "PerfCounters",
     "Table",
     "format_percent",
     "fragmented_group_fraction",
     "group_block_counts",
     "host_pt_fragmentation",
+    "load_snapshot",
     "percent_change",
     "render_series",
+    "write_snapshots",
 ]

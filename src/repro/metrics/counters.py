@@ -73,7 +73,9 @@ class PerfCounters:
 
         Resolution is one log2 bucket (the histogram returns the bucket
         midpoint), which is ample for the order-of-magnitude tail
-        comparisons of §2.3/§7.
+        comparisons of §2.3/§7. With zero recorded faults this returns
+        0.0 (no latency observed), matching :func:`percentile` on an
+        empty sequence.
         """
         return self.fault_latencies.percentile(fraction)
 

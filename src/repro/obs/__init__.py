@@ -16,7 +16,12 @@ traces:
   time series (fragmentation, free lists, PaRT occupancy, ...);
 * :class:`Log2Histogram` -- the bounded latency histogram behind
   ``PerfCounters.fault_latencies``;
-* :class:`capture` -- context manager for scoped in-test tracing.
+* :class:`capture` -- context manager for scoped in-test tracing;
+* :data:`PROFILER` / :class:`profiling` -- the hierarchical
+  cycle-attribution profiler (folded-stack / JSON export, same
+  zero-overhead-when-disabled guard discipline as tracepoints);
+* :func:`diff_snapshots` / ``python -m repro.obs diff`` -- differential
+  analysis of two metrics snapshots with a regression threshold.
 
 Record a trace from the experiment runner and inspect it::
 
@@ -28,8 +33,17 @@ Record a trace from the experiment runner and inspect it::
 See docs/internals.md ("Observability") for the tracepoint catalog.
 """
 
+from .diff import SnapshotDiff, diff_snapshots, render_diff
 from .export import render_summary, summarize, to_chrome
 from .histogram import Log2Histogram
+from .profile import (
+    PROFILER,
+    ProfileNode,
+    Profiler,
+    profiling,
+    rank_delta,
+    render_folded,
+)
 from .sampler import PeriodicSampler, TimeSeries, standard_sampler
 from .sinks import JsonlSink, RingBufferSink, iter_trace, read_trace
 from .trace import (
@@ -43,19 +57,28 @@ from .trace import (
 )
 
 __all__ = [
+    "PROFILER",
     "TRACEPOINT_NAME_RE",
     "TRACER",
     "JsonlSink",
     "Log2Histogram",
     "PeriodicSampler",
+    "ProfileNode",
+    "Profiler",
     "RingBufferSink",
+    "SnapshotDiff",
     "TimeSeries",
     "TraceEvent",
     "Tracepoint",
     "Tracer",
     "capture",
+    "diff_snapshots",
     "iter_trace",
+    "profiling",
+    "rank_delta",
     "read_trace",
+    "render_diff",
+    "render_folded",
     "render_summary",
     "standard_sampler",
     "summarize",

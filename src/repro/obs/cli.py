@@ -1,14 +1,22 @@
-"""The ``python -m repro.obs`` command line: inspect and convert traces.
+"""The ``python -m repro.obs`` command line: inspect, convert, compare.
 
 ::
 
     python -m repro.obs summarize out.trace.jsonl
     python -m repro.obs export out.trace.jsonl -o out.trace.json
     python -m repro.obs catalog
+    python -m repro.obs metrics
+    python -m repro.obs diff baseline.json current.json --threshold 25
+    python -m repro.obs diff t1.json#standalone t1.json#colocated
 
 ``export`` writes a Chrome ``trace_event`` JSON loadable in Perfetto
 (https://ui.perfetto.dev) or ``chrome://tracing``. ``catalog`` imports
-the instrumented layers and lists every registered tracepoint.
+the instrumented layers and lists every registered tracepoint;
+``metrics`` lists the metric schema the same way. ``diff`` compares two
+metrics-snapshot files (``--metrics-out`` / benchmark output; append
+``#label`` to pick one snapshot from a multi-snapshot file) and exits
+non-zero when ``--threshold`` is given and any metric moved by more than
+that percentage -- the CI regression gate.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .diff import diff_snapshots, render_diff
 from .export import render_summary, summarize, to_chrome
 from .sinks import iter_trace
 from .trace import TRACER
@@ -74,6 +83,50 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    # Importing the collectors registers the canonical metric schema.
+    from ..metrics import collect  # noqa: F401
+    from ..metrics.registry import REGISTRY
+
+    catalog = REGISTRY.catalog()
+    width = max((len(spec.name) for spec in catalog), default=0)
+    for spec in catalog:
+        unit = f" [{spec.unit}]" if spec.unit else ""
+        print(f"{spec.name.ljust(width)}  {spec.kind.value:<9}{unit}  {spec.help}")
+    print(f"{len(catalog)} metrics registered")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from ..metrics.registry import load_snapshot
+
+    before = load_snapshot(args.before)
+    after = load_snapshot(args.after)
+    result = diff_snapshots(before, after)
+    if args.json:
+        json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(
+            render_diff(
+                result,
+                top=args.top,
+                profile_top=args.profile_top,
+                show_unchanged=args.all,
+            )
+        )
+    if args.threshold is not None:
+        breaches = result.breaches(args.threshold)
+        if breaches:
+            print(
+                f"REGRESSION: {len(breaches)} metric(s) moved more than "
+                f"{args.threshold:g}% (worst: {breaches[0].formatted()})"
+            )
+            return 1
+        print(f"ok: all changes within {args.threshold:g}%")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -102,6 +155,45 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_cat = sub.add_parser("catalog", help="list registered tracepoints")
     p_cat.set_defaults(func=_cmd_catalog)
+
+    p_met = sub.add_parser("metrics", help="list the metric schema")
+    p_met.set_defaults(func=_cmd_metrics)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two metrics snapshots (a regression gate)"
+    )
+    p_diff.add_argument(
+        "before", help="baseline snapshot JSON (append #label to pick one)"
+    )
+    p_diff.add_argument(
+        "after", help="candidate snapshot JSON (append #label to pick one)"
+    )
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero if any metric moves more than PCT percent",
+    )
+    p_diff.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="show at most N changed metrics (0 = all)",
+    )
+    p_diff.add_argument(
+        "--profile-top",
+        type=int,
+        default=15,
+        help="show at most N attribution paths (default 15)",
+    )
+    p_diff.add_argument(
+        "--all", action="store_true", help="also list unchanged metrics"
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    p_diff.set_defaults(func=_cmd_diff)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,200 @@
+"""Differential run analysis: compare two metrics snapshots.
+
+Powers ``python -m repro.obs diff a.json b.json`` -- the Table-1-style
+"baseline vs colocated" / "default vs PTEMagnet" comparison as a
+one-liner. Given two :class:`~repro.metrics.registry.MetricsSnapshot`
+documents it reports
+
+* per-metric deltas with the existing
+  :class:`~repro.metrics.counters.MetricDelta` formatting (histograms
+  flatten to ``.count`` / ``.mean`` / ``.p99`` scalars),
+* metrics present on only one side ("appeared" / "removed"),
+* the cycle-attribution trees ranked by absolute cycle delta
+  (:func:`~repro.obs.profile.rank_delta`) when both snapshots embed one,
+* and a regression verdict: the largest finite percent change is compared
+  against a configurable threshold, giving CI a perf gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .profile import ProfileNode, rank_delta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; the runtime import
+    # lives inside diff_snapshots() to keep repro.obs importable while
+    # repro.metrics is still initializing (metrics -> obs.histogram ->
+    # obs.__init__ -> obs.diff would otherwise cycle).
+    from ..metrics.counters import MetricDelta
+    from ..metrics.registry import MetricsSnapshot
+
+
+@dataclass
+class SnapshotDiff:
+    """Everything one snapshot comparison produced."""
+
+    label_before: str
+    label_after: str
+    #: One delta per metric present on both sides, sorted by absolute
+    #: percent change (largest first), ties by name.
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Metric names present only in the after / only in the before side.
+    appeared: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    #: Attribution-tree ranking (see :func:`rank_delta`); empty when
+    #: either snapshot has no embedded profile.
+    profile_ranking: List[Dict[str, object]] = field(default_factory=list)
+
+    def max_change_percent(self) -> float:
+        """Largest finite absolute percent change across all deltas.
+
+        Metrics that appear from zero have an infinite percent change;
+        they are reported separately and excluded here so a generous
+        threshold gate is not tripped by a counter waking up.
+        """
+        changes = [
+            abs(delta.change_percent)
+            for delta in self.deltas
+            if math.isfinite(delta.change_percent)
+        ]
+        return max(changes, default=0.0)
+
+    def breaches(self, threshold_percent: float) -> List[MetricDelta]:
+        """Deltas whose finite percent change exceeds the threshold."""
+        return [
+            delta
+            for delta in self.deltas
+            if math.isfinite(delta.change_percent)
+            and abs(delta.change_percent) > threshold_percent
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "before": self.label_before,
+            "after": self.label_after,
+            "metrics": [
+                {
+                    "name": delta.name,
+                    "before": delta.before,
+                    "after": delta.after,
+                    "change_percent": (
+                        delta.change_percent
+                        if math.isfinite(delta.change_percent)
+                        else None
+                    ),
+                }
+                for delta in self.deltas
+            ],
+            "appeared": self.appeared,
+            "removed": self.removed,
+            "profile": self.profile_ranking,
+        }
+
+
+def diff_snapshots(
+    before: "MetricsSnapshot", after: "MetricsSnapshot"
+) -> SnapshotDiff:
+    """Compare two snapshots metric by metric (and profile by profile)."""
+    from ..metrics.counters import MetricDelta
+
+    before_values = dict(before.scalar_items())
+    after_values = dict(after.scalar_items())
+    diff = SnapshotDiff(
+        label_before=before.label or "before",
+        label_after=after.label or "after",
+    )
+    for name in sorted(set(before_values) | set(after_values)):
+        if name not in after_values:
+            diff.removed.append(name)
+        elif name not in before_values:
+            diff.appeared.append(name)
+        else:
+            diff.deltas.append(
+                MetricDelta(name, before_values[name], after_values[name])
+            )
+    diff.deltas.sort(
+        key=lambda delta: (-abs(delta.change_percent), delta.name)
+    )
+    if before.profile is not None and after.profile is not None:
+        diff.profile_ranking = rank_delta(before.profile, after.profile)
+    return diff
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_diff(
+    diff: SnapshotDiff,
+    top: int = 0,
+    profile_top: int = 15,
+    show_unchanged: bool = False,
+) -> str:
+    """Human-readable rendering of a :class:`SnapshotDiff`.
+
+    ``top`` limits the metric rows shown (0 = all changed metrics);
+    ``profile_top`` limits the attribution-ranking rows. Unchanged
+    metrics are summarized by count unless ``show_unchanged``.
+    """
+    lines = [f"diff: {diff.label_before} -> {diff.label_after}"]
+    changed = [delta for delta in diff.deltas if delta.change_percent != 0.0]
+    unchanged = len(diff.deltas) - len(changed)
+    shown = changed if not top else changed[:top]
+    for delta in shown:
+        before = _format_value(delta.before)
+        after = _format_value(delta.after)
+        if math.isfinite(delta.change_percent):
+            lines.append(f"  {delta.formatted()}  ({before} -> {after})")
+        else:
+            lines.append(f"  {delta.name}: new activity  (0 -> {after})")
+    if top and len(changed) > top:
+        lines.append(f"  ... {len(changed) - top} more changed metrics")
+    if show_unchanged:
+        for delta in diff.deltas:
+            if delta.change_percent == 0.0:
+                lines.append(
+                    f"  {delta.name}: +0%  ({_format_value(delta.before)})"
+                )
+    elif unchanged:
+        lines.append(f"  ({unchanged} metrics unchanged)")
+    for name in diff.appeared:
+        lines.append(f"  + {name} (only in {diff.label_after})")
+    for name in diff.removed:
+        lines.append(f"  - {name} (only in {diff.label_before})")
+    if diff.profile_ranking:
+        lines.append("attribution (by |cycle delta|):")
+        rows = [
+            row
+            for row in diff.profile_ranking
+            if row["delta_cycles"] or row["delta_count"]
+        ]
+        for row in rows[:profile_top]:
+            if row["delta_cycles"]:
+                sign = "+" if row["delta_cycles"] >= 0 else ""
+                lines.append(
+                    f"  {row['path']}: {sign}{row['delta_cycles']} cycles "
+                    f"({row['before_cycles']} -> {row['after_cycles']})"
+                )
+            else:
+                sign = "+" if row["delta_count"] >= 0 else ""
+                lines.append(
+                    f"  {row['path']}: {sign}{row['delta_count']} events "
+                    f"({row['before_count']} -> {row['after_count']})"
+                )
+        if len(rows) > profile_top:
+            lines.append(f"  ... {len(rows) - profile_top} more paths")
+    return "\n".join(lines)
+
+
+def category_totals(profile: Optional[ProfileNode]) -> Dict[str, int]:
+    """Subtree cycle totals of the tree's top-level categories."""
+    if profile is None:
+        return {}
+    return {
+        name: profile.children[name].total_cycles()
+        for name in sorted(profile.children)
+    }

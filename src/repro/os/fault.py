@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..mem.buddy import BuddyAllocator
 from ..mem.physical import FrameState
+from ..obs.profile import PROFILER
 
 
 class FaultKind(enum.Enum):
@@ -53,4 +54,8 @@ class FaultOutcome:
 
 def default_alloc(buddy: BuddyAllocator, owner: int) -> int:
     """The stock Linux fault-path allocation: one order-0 frame."""
+    if PROFILER.enabled:
+        # Event-count attribution; the cycle cost of buddy calls is
+        # modelled in the fault outcome, not here.
+        PROFILER.add(("alloc", "buddy"), 0)
     return buddy.alloc_frame(owner=owner, state=FrameState.USER)

@@ -25,6 +25,7 @@ from ..mem.buddy import BuddyAllocator
 from ..mem.pcp import PerCpuPageCache
 from ..mem.physical import FrameState, PhysicalMemory
 from ..obs.histogram import Log2Histogram
+from ..obs.profile import PROFILER
 from ..obs.trace import tracepoint
 from ..pagetable.pte import PteFlags, pte_flags, pte_frame
 from .fault import FaultKind, FaultOutcome, default_alloc
@@ -208,6 +209,8 @@ class GuestKernel:
         if _tp_fault_enter.enabled:
             _tp_fault_enter.emit(pid=process.pid, vpn=vpn, write=write)
         outcome = self._handle_fault(process, vpn, write)
+        if PROFILER.enabled:
+            PROFILER.add(("fault", outcome.kind.value), outcome.cycles)
         if _tp_fault_exit.enabled:
             _tp_fault_exit.emit(
                 pid=process.pid,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.profile import PROFILER
 from ..units import pte_address
 from .pte import pte_frame
 from .radix import PageTable
@@ -75,6 +76,14 @@ class PageWalker:
         self.stream = stream
         self.walks = 0
         self.total_cycles = 0
+        #: Profiler attribution prefix for this walker's accesses; the
+        #: nested walker rebinds it per 2D-walk step (``("walk", "hpt",
+        #: "gl3")`` etc.) so each host access lands in the right cell of
+        #: the guest-level x host-level attribution matrix.
+        self.profile_context: Tuple[str, ...] = ("walk", stream)
+        #: Optional cache hierarchy behind ``memory_access``; when set,
+        #: profiled steps are additionally keyed by serving cache level.
+        self.hierarchy: Optional["object"] = None
 
     def walk(self, vpn: int, record_trace: bool = False) -> WalkResult:
         """Translate ``vpn``, issuing PT accesses through the hierarchy."""
@@ -98,6 +107,11 @@ class PageWalker:
             latency = self.memory_access(addr, self.stream)
             cycles += latency
             accesses += 1
+            if PROFILER.enabled:
+                step = self.profile_context + (f"hl{level}",)
+                if self.hierarchy is not None:
+                    step += (self.hierarchy.last_outcome.name.lower(),)
+                PROFILER.add(step, latency)
             if record_trace:
                 trace.append((level, addr, latency))
             if self.pwc is not None:

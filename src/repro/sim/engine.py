@@ -23,6 +23,7 @@ from ..metrics.fragmentation import (
     fragmented_group_fraction,
     host_pt_fragmentation,
 )
+from ..obs.profile import PROFILER
 from ..obs.sampler import PeriodicSampler, standard_sampler
 from ..obs.trace import TRACER, tracepoint
 from ..os.kernel import GuestKernel
@@ -197,7 +198,20 @@ class WorkloadRun:
         data_addr = (hfn << PAGE_SHIFT) | (
             (op.block & (BLOCKS_PER_PAGE - 1)) << CACHE_BLOCK_SHIFT
         )
-        cycles += self.core.hierarchy.access(data_addr, "data")
+        data_latency = self.core.hierarchy.access(data_addr, "data")
+        cycles += data_latency
+        if PROFILER.enabled:
+            PROFILER.add(
+                (
+                    "access",
+                    "data",
+                    self.core.hierarchy.last_outcome.name.lower(),
+                ),
+                data_latency,
+            )
+            PROFILER.add(
+                ("access", "issue"), self.core.config.base_cycles_per_access
+            )
         if TRACER.active:
             TRACER.advance(cycles)
         if self.measuring:

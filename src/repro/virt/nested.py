@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.pwc import PageWalkCache
+from ..obs.profile import PROFILER
 from ..obs.trace import tracepoint
 from ..pagetable.radix import PageTable
 from ..pagetable.walker import PageWalker
@@ -101,6 +102,8 @@ class NestedWalker:
             pwc=host_pwc,
             stream="hpt",
         )
+        # Let profiled host-walk steps carry their serving cache level.
+        self._host_walker.hierarchy = hierarchy
         # Nested TLB: gfn -> hfn, LRU via insertion order.
         self._ntlb: Dict[int, int] = {}
         self.ntlb_hits = 0
@@ -171,6 +174,10 @@ class NestedWalker:
             # The gPTE lives at a guest-physical address; locate it in host
             # physical memory first (nested dimension).
             gpte_gpa = pte_address(node_frame, index)
+            if PROFILER.enabled:
+                self._host_walker.profile_context = (
+                    "walk", "hpt", f"gl{level}",
+                )
             hfn, walk_cycles, walk_accesses = self._host_translate_node(
                 node_frame
             )
@@ -180,6 +187,16 @@ class NestedWalker:
             # Then fetch the gPTE itself through the cache hierarchy.
             gpte_hpa = (hfn << PAGE_SHIFT) | (gpte_gpa & ((1 << PAGE_SHIFT) - 1))
             latency = self.hierarchy.access(gpte_hpa, "gpt")
+            if PROFILER.enabled:
+                PROFILER.add(
+                    (
+                        "walk",
+                        "gpt",
+                        f"gl{level}",
+                        self.hierarchy.last_outcome.name.lower(),
+                    ),
+                    latency,
+                )
             cycles += latency
             guest_accesses += 1
             if _tp_walk_step.enabled:
@@ -198,6 +215,8 @@ class NestedWalker:
             guest_frame = leaf_pte >> PAGE_SHIFT
         if guest_frame is not None:
             # Final host walk: translate the data page's guest frame.
+            if PROFILER.enabled:
+                self._host_walker.profile_context = ("walk", "hpt", "leaf")
             host_frame, walk_cycles, walk_accesses = self._host_translate(
                 guest_frame
             )

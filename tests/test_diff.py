@@ -1,0 +1,203 @@
+"""Differential run analysis: diff_snapshots, the CLI gate, and the
+Table-1 directional acceptance check on real simulator runs."""
+
+import math
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.experiments.common import run_colocated
+from repro.experiments.table1 import STRESS_WEIGHT
+from repro.metrics.collect import snapshot_outcome
+from repro.metrics.registry import MetricsRegistry, MetricsSnapshot, write_snapshots
+from repro.obs.cli import main as obs_main
+from repro.obs.diff import category_totals, diff_snapshots, render_diff
+from repro.obs.profile import Profiler, profiling
+
+
+def make_pair():
+    reg = MetricsRegistry()
+    reg.counter("perf.cycles")
+    reg.counter("perf.walk_cycles")
+    reg.counter("perf.faults")
+    reg.gauge("mem.free_fraction")
+    before = MetricsSnapshot("standalone", registry=reg)
+    after = MetricsSnapshot("colocated", registry=reg)
+    before.set("perf.cycles", 1000)
+    after.set("perf.cycles", 1100)
+    before.set("perf.walk_cycles", 100)
+    after.set("perf.walk_cycles", 220)
+    before.set("perf.faults", 0)
+    after.set("perf.faults", 64)
+    before.set("mem.free_fraction", 0.5)
+    return before, after
+
+
+class TestDiffSnapshots:
+    def test_deltas_sorted_by_absolute_change(self):
+        diff = diff_snapshots(*make_pair())
+        names = [delta.name for delta in diff.deltas]
+        # inf (new activity) first, then 120%, then 10%
+        assert names == ["perf.faults", "perf.walk_cycles", "perf.cycles"]
+        assert math.isinf(diff.deltas[0].change_percent)
+
+    def test_appeared_and_removed(self):
+        diff = diff_snapshots(*make_pair())
+        assert diff.removed == ["mem.free_fraction"]
+        assert diff.appeared == []
+
+    def test_max_change_and_breaches_ignore_infinite(self):
+        diff = diff_snapshots(*make_pair())
+        assert diff.max_change_percent() == pytest.approx(120.0)
+        breached = [delta.name for delta in diff.breaches(50.0)]
+        assert breached == ["perf.walk_cycles"]
+        assert diff.breaches(150.0) == []
+
+    def test_to_dict_uses_none_for_infinite_change(self):
+        payload = diff_snapshots(*make_pair()).to_dict()
+        by_name = {row["name"]: row for row in payload["metrics"]}
+        assert by_name["perf.faults"]["change_percent"] is None
+        assert by_name["perf.cycles"]["change_percent"] == pytest.approx(10.0)
+
+    def test_render_mentions_labels_new_activity_and_removed(self):
+        text = render_diff(diff_snapshots(*make_pair()))
+        assert "diff: standalone -> colocated" in text
+        assert "perf.faults: new activity  (0 -> 64)" in text
+        assert "perf.walk_cycles: +120%  (100 -> 220)" in text
+        assert "- mem.free_fraction (only in standalone)" in text
+
+    def test_profile_ranking_rides_along(self):
+        before, after = make_pair()
+        b, a = Profiler(), Profiler()
+        b.add(("walk", "hpt", "hl3", "memory"), 100)
+        a.add(("walk", "hpt", "hl3", "memory"), 900)
+        before.profile, after.profile = b.root, a.root
+        diff = diff_snapshots(before, after)
+        assert diff.profile_ranking[0]["path"] == "walk;hpt;hl3;memory"
+        assert diff.profile_ranking[0]["delta_cycles"] == 800
+        text = render_diff(diff)
+        assert "attribution (by |cycle delta|):" in text
+        assert "walk;hpt;hl3;memory: +800 cycles (100 -> 900)" in text
+
+    def test_category_totals(self):
+        prof = Profiler()
+        prof.add(("walk", "hpt"), 30)
+        prof.add(("walk", "gpt"), 10)
+        prof.add(("fault", "minor"), 5)
+        assert category_totals(prof.root) == {"fault": 5, "walk": 40}
+        assert category_totals(None) == {}
+
+
+class TestDiffCli:
+    def _write_pair(self, tmp_path):
+        before, after = make_pair()
+        path = tmp_path / "t1.json"
+        write_snapshots(path, {"standalone": before, "colocated": after})
+        return path
+
+    def test_cli_diff_ok_within_threshold(self, tmp_path, capsys):
+        path = self._write_pair(tmp_path)
+        rc = obs_main(
+            ["diff", f"{path}#standalone", f"{path}#colocated",
+             "--threshold", "150"]
+        )
+        assert rc == 0
+        assert "ok: all changes within 150" in capsys.readouterr().out
+
+    def test_cli_diff_gate_trips_past_threshold(self, tmp_path, capsys):
+        path = self._write_pair(tmp_path)
+        rc = obs_main(
+            ["diff", f"{path}#standalone", f"{path}#colocated",
+             "--threshold", "50"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "perf.walk_cycles" in out
+
+    def test_cli_diff_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self._write_pair(tmp_path)
+        assert (
+            obs_main(["diff", f"{path}#standalone", f"{path}#colocated",
+                      "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["before"] == "standalone"
+        assert {row["name"] for row in payload["metrics"]} >= {
+            "perf.cycles",
+            "perf.walk_cycles",
+        }
+
+
+class TestTable1Directional:
+    """Acceptance: diffing standalone vs colocated pagerank snapshots
+    reproduces Table 1's directional story (§3.3) -- page-walk cycles and
+    host-PT-served-by-memory blow up, data-cache and TLB stay near flat.
+    """
+
+    @pytest.fixture(scope="class")
+    def table1_diff(self):
+        platform = PlatformConfig().with_ptemagnet(False)
+        with profiling():
+            standalone = run_colocated(
+                platform, "pagerank", corunners=(), seed=42
+            )
+            colocated = run_colocated(
+                platform,
+                "pagerank",
+                corunners=[("stress-ng", STRESS_WEIGHT)],
+                seed=42,
+                stop_corunners_at_compute=True,
+            )
+        return diff_snapshots(
+            snapshot_outcome("standalone", standalone),
+            snapshot_outcome("colocated", colocated),
+        )
+
+    def test_walk_and_hpt_memory_deltas_dominate(self, table1_diff):
+        changes = {
+            delta.name: delta.change_percent for delta in table1_diff.deltas
+        }
+        walk = changes["perf.walk_cycles"]
+        hpt_memory = changes["perf.hpt_memory_accesses"]
+        host_walk = changes["perf.host_walk_cycles"]
+        data = abs(changes["perf.data_memory_accesses"])
+        tlb = abs(changes["perf.tlb_misses"])
+        # Table 1: +61% walk cycles, +117% host-PT walk cycles, +283% hPT
+        # accesses served by memory, while data-cache misses and TLB
+        # misses move by <1%.
+        assert walk > 20.0
+        assert host_walk > walk
+        assert hpt_memory > walk
+        assert data < 5.0
+        assert tlb < 5.0
+        assert min(walk, host_walk, hpt_memory) > 4 * max(data, tlb)
+
+    def test_attribution_ranking_blames_host_walk_memory(self, table1_diff):
+        assert table1_diff.profile_ranking, "profiles should be embedded"
+        top_paths = [
+            row["path"] for row in table1_diff.profile_ranking[:10]
+        ]
+        assert any(path.startswith("walk;hpt") for path in top_paths)
+        # the dominant single contributor is host-PT steps served by memory
+        assert any(
+            path.startswith("walk;hpt") and path.endswith("memory")
+            for path in top_paths
+        )
+
+    def test_round_trips_through_snapshot_file(self, table1_diff, tmp_path):
+        from repro.metrics.registry import load_snapshot
+
+        # the same comparison must survive the JSON round trip CI uses
+        platform = PlatformConfig().with_ptemagnet(False)
+        outcome = run_colocated(platform, "pagerank", corunners=(), seed=42)
+        snap = snapshot_outcome("standalone", outcome)
+        path = tmp_path / "t1.json"
+        write_snapshots(path, {"standalone": snap})
+        loaded = load_snapshot(path)
+        identity = diff_snapshots(loaded, snap)
+        assert identity.max_change_percent() == 0.0
+        assert identity.appeared == [] and identity.removed == []

@@ -58,6 +58,7 @@ def test_registry_has_expected_rules():
         "bare-assert",
         "raw-output",
         "tracepoint-naming",
+        "metrics-naming",
     } <= names
     assert set(RULES) == names
 
@@ -409,3 +410,45 @@ def test_tracepoint_naming_accepts_dotted_lowercase():
 def test_tracepoint_naming_skips_dynamic_names():
     src = "tp = tracepoint('sample.' + token)\n"
     assert rules_hit(src) == []
+
+
+# ---------------------------------------------------------------------- #
+# observability: metrics-naming
+# ---------------------------------------------------------------------- #
+
+def test_metrics_naming_flags_bad_counter_literal():
+    src = "REGISTRY.counter('WalkCycles')\n"
+    assert rules_hit(src) == ["metrics-naming"]
+
+
+def test_metrics_naming_flags_undotted_gauge_and_histogram():
+    src = "REGISTRY.gauge('freepages')\nREGISTRY.histogram('latency')\n"
+    assert rules_hit(src) == ["metrics-naming", "metrics-naming"]
+
+
+def test_metrics_naming_accepts_dotted_lowercase():
+    src = (
+        "REGISTRY.counter('perf.walk_cycles')\n"
+        "registry.gauge('mem.free_pages')\n"
+        "histogram('perf.fault_latencies')\n"
+    )
+    assert rules_hit(src) == []
+
+
+def test_metrics_naming_skips_dynamic_names():
+    src = "REGISTRY.counter('cache.' + stream)\n"
+    assert rules_hit(src) == []
+
+
+def test_metrics_naming_flags_free_floating_extra_keys():
+    src = "counters.extra['WalkCycles'] = 1\n"
+    assert rules_hit(src) == ["metrics-naming"]
+    src = "counters.extra['retries'] += 1\n"
+    assert rules_hit(src) == ["metrics-naming"]
+
+
+def test_metrics_naming_allows_dotted_extra_keys_and_test_code():
+    src = "counters.extra['perf.retries'] = 1\n"
+    assert rules_hit(src) == []
+    src = "counters.extra['retries'] = 1\n"
+    assert rules_hit(src, path="tests/test_x.py") == []

@@ -237,6 +237,37 @@ class TestLog2Histogram:
 
     def test_empty_percentile_is_zero(self):
         assert Log2Histogram().percentile(0.99) == 0.0
+        assert Log2Histogram().percentile(0.0) == 0.0
+        assert Log2Histogram().mean == 0.0
+
+    def test_merge_disjoint_ranges(self):
+        low = Log2Histogram()
+        for value in (1, 2, 3):
+            low.record(value)
+        high = Log2Histogram()
+        for value in (4096, 8192):
+            high.record(value)
+        low.merge(high)
+        assert low.count == 5
+        assert low.total == 1 + 2 + 3 + 4096 + 8192
+        assert low.min == 1
+        assert low.max == 8192
+        assert sum(low.buckets) == 5
+        # Median stays in the low cluster; the tail lands in the high one.
+        assert low.percentile(0.5) == Log2Histogram.bucket_midpoint(2)
+        assert low.percentile(0.99) == Log2Histogram.bucket_midpoint(14)
+
+    def test_merge_into_empty_adopts_bounds(self):
+        empty = Log2Histogram()
+        other = Log2Histogram()
+        other.record(7)
+        empty.merge(other)
+        assert (empty.min, empty.max, empty.count) == (7, 7, 1)
+
+    def test_fault_latency_percentile_zero_samples(self):
+        from repro.metrics.counters import PerfCounters
+
+        assert PerfCounters().fault_latency_percentile(0.99) == 0.0
 
 
 # ---------------------------------------------------------------------- #
@@ -384,6 +415,18 @@ class TestExport:
         out = capsys.readouterr().out
         for name in ("buddy.split", "fault.enter", "walk.exit", "tlb.miss"):
             assert name in out
+
+    def test_cli_catalog_is_sorted_and_stable(self, capsys):
+        assert obs_main(["catalog"]) == 0
+        first = capsys.readouterr().out
+        names = [
+            line.split()[0]
+            for line in first.splitlines()
+            if "." in line.split()[0]
+        ]
+        assert names == sorted(names)
+        assert obs_main(["catalog"]) == 0
+        assert capsys.readouterr().out == first
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,136 @@
+"""Unit tests for the hierarchical cycle-attribution profiler."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.profile import (
+    PATH_SEPARATOR,
+    PROFILER,
+    ProfileNode,
+    Profiler,
+    profiling,
+    rank_delta,
+    render_folded,
+)
+
+
+class TestProfileNode:
+    def test_add_builds_tree_with_self_totals(self):
+        prof = Profiler()
+        prof.add(("walk", "hpt", "hl3"), 10)
+        prof.add(("walk", "hpt", "hl3"), 5, count=2)
+        prof.add(("walk", "gpt"), 7)
+        hl3 = prof.root.children["walk"].children["hpt"].children["hl3"]
+        assert (hl3.cycles, hl3.count) == (15, 3)
+        walk = prof.root.children["walk"]
+        assert walk.cycles == 0  # parents carry no self cost here
+        assert walk.total_cycles() == 22
+        assert walk.total_count() == 4
+
+    def test_walk_is_sorted_depth_first(self):
+        prof = Profiler()
+        prof.add(("b", "y"), 1)
+        prof.add(("a",), 1)
+        prof.add(("b", "x"), 1)
+        paths = [PATH_SEPARATOR.join(p) for p, _ in prof.root.walk()]
+        assert paths == ["a", "b", "b;x", "b;y"]
+
+    def test_snapshot_is_independent(self):
+        prof = Profiler()
+        prof.add(("fault", "minor"), 3)
+        snap = prof.root.snapshot()
+        prof.add(("fault", "minor"), 4)
+        assert snap.children["fault"].children["minor"].cycles == 3
+
+    def test_delta_window(self):
+        prof = Profiler()
+        prof.add(("walk", "gpt"), 100)
+        mark = prof.mark()
+        prof.add(("walk", "gpt"), 11)
+        prof.add(("alloc", "pcp", "hit"), 0, count=5)
+        window = prof.since(mark)
+        assert window.children["walk"].children["gpt"].cycles == 11
+        assert window.children["alloc"].total_count() == 5
+        # untouched paths drop out of the window entirely
+        assert set(window.children) == {"walk", "alloc"}
+
+    def test_delta_rejects_non_prefix(self):
+        prof = Profiler()
+        prof.add(("walk",), 5)
+        mark = prof.mark()
+        prof.root = ProfileNode("root")
+        prof.add(("walk",), 1)
+        with pytest.raises(ReproError):
+            prof.since(mark)
+
+    def test_dict_round_trip(self):
+        prof = Profiler()
+        prof.add(("walk", "hpt", "gl2", "hl3", "memory"), 155)
+        prof.add(("access", "data", "l1"), 4, count=4)
+        clone = ProfileNode.from_dict("root", prof.to_dict())
+        assert clone.to_dict() == prof.to_dict()
+        assert clone.total_cycles() == prof.root.total_cycles()
+
+
+class TestFoldedExport:
+    def test_folded_lines_self_cycles_only(self):
+        prof = Profiler()
+        prof.add(("walk", "hpt", "hl4"), 40)
+        prof.add(("walk", "gpt"), 10)
+        prof.add(("alloc", "pcp", "hit"), 0, count=9)  # count-only: omitted
+        lines = prof.to_folded().splitlines()
+        assert lines == ["walk;gpt 10", "walk;hpt;hl4 40"]
+
+    def test_empty_tree_renders_empty(self):
+        assert render_folded(ProfileNode("root")) == ""
+
+
+class TestRankDelta:
+    def test_ranks_by_absolute_cycle_delta(self):
+        before, after = Profiler(), Profiler()
+        before.add(("walk", "hpt"), 100)
+        after.add(("walk", "hpt"), 500)
+        before.add(("walk", "gpt"), 100)
+        after.add(("walk", "gpt"), 90)
+        after.add(("fault", "major"), 50)
+        rows = rank_delta(before.root, after.root)
+        ranked = [row["path"] for row in rows]
+        assert ranked.index("walk;hpt") < ranked.index("fault;major")
+        assert ranked.index("fault;major") < ranked.index("walk;gpt")
+        top = rows[0]
+        assert top["path"] == "walk;hpt"
+        assert top["delta_cycles"] == 400
+        assert (top["before_cycles"], top["after_cycles"]) == (100, 500)
+
+    def test_count_only_rows_rank_after_cycle_rows(self):
+        before, after = Profiler(), Profiler()
+        before.add(("alloc", "pcp", "hit"), 0, count=10)
+        after.add(("alloc", "pcp", "hit"), 0, count=90)
+        after.add(("walk", "gpt"), 1)
+        rows = rank_delta(before.root, after.root)
+        paths = [row["path"] for row in rows if row["delta_cycles"] or row["delta_count"]]
+        assert paths.index("walk;gpt") < paths.index("alloc;pcp;hit")
+
+
+class TestGlobalProfiler:
+    def test_disabled_by_default(self):
+        assert Profiler().enabled is False
+        assert PROFILER.enabled is False
+
+    def test_profiling_context_manager(self):
+        prof = Profiler()
+        prof.add(("stale",), 1)
+        with profiling(prof) as active:
+            assert active.enabled is True
+            assert active.root.children == {}  # entry resets the tree
+            active.add(("walk",), 2)
+        assert prof.enabled is False
+        assert prof.root.children["walk"].cycles == 2  # tree survives exit
+
+    def test_reset_clears_and_disables(self):
+        prof = Profiler()
+        prof.enable()
+        prof.add(("x",), 1)
+        prof.reset()
+        assert prof.enabled is False
+        assert prof.root.children == {}

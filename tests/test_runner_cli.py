@@ -65,3 +65,70 @@ class TestRunnerCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["--experiment", "bogus"])
+
+    def test_metrics_flags_require_single_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--metrics-out", str(tmp_path / "m.json")])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table1", "--flamegraph", "fg.folded"])
+
+    def test_metrics_out_skips_snapshotless_experiments(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "m.json"
+        assert (
+            main(["--experiment", "table2", "--metrics-out", str(out)]) == 0
+        )
+        assert "produces no metrics snapshot" in capsys.readouterr().out
+        assert not out.exists()
+
+    def test_table1_metrics_profile_flamegraph_end_to_end(
+        self, tmp_path, capsys
+    ):
+        from repro.metrics.registry import load_snapshot
+        from repro.obs.cli import main as obs_main
+
+        metrics = tmp_path / "table1.json"
+        folded = tmp_path / "table1.folded"
+        assert (
+            main(
+                [
+                    "--experiment",
+                    "table1",
+                    "--seed",
+                    "42",
+                    "--metrics-out",
+                    str(metrics),
+                    "--profile",
+                    "--flamegraph",
+                    str(folded),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "snapshots: colocated, standalone" in printed
+
+        colocated = load_snapshot(f"{metrics}#colocated")
+        assert colocated.get("perf.walk_cycles") > 0
+        assert colocated.profile is not None
+        assert "walk" in colocated.profile.children
+
+        # folded stacks: "path;to;leaf cycles" lines, walk paths present
+        lines = folded.read_text().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert any(line.startswith("walk;hpt") for line in lines)
+
+        # the snapshot family feeds straight into the diff CLI
+        assert (
+            obs_main(
+                [
+                    "diff",
+                    f"{metrics}#standalone",
+                    f"{metrics}#colocated",
+                ]
+            )
+            == 0
+        )
+        assert "attribution (by |cycle delta|):" in capsys.readouterr().out
