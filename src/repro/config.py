@@ -165,6 +165,11 @@ class GuestConfig:
     #: consistency) after every page fault. O(live state) per fault; the
     #: ``REPRO_INVARIANTS`` env flag enables the same checks globally.
     check_invariants: bool = False
+    #: Debug mode: attach the :mod:`repro.sanitizer` shadow-state checker
+    #: to the guest memory stack (frame lifecycle mirrored at every
+    #: alloc/free/reserve/map site; violations raise immediately). The
+    #: ``REPRO_SANITIZE`` env flag enables the same checker globally.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         modes = sum(

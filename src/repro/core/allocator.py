@@ -177,6 +177,12 @@ class PTEMagnetAllocator:
         frame = reservation.map_slot(slot)
         self.buddy.memory.set_state(frame, FrameState.USER, owner)
         part.insert(reservation)
+        san = self.buddy.sanitizer
+        if san is not None:
+            # All pages of the chunk (including the slot just mapped) are
+            # shadow-RESERVED; the kernel's page-table map of the faulting
+            # slot transitions it RESERVED -> MAPPED.
+            san.on_reserve(base, self.reservation_pages, owner)
         self.stats.reservations_created += 1
         if PROFILER.enabled:
             PROFILER.add(("alloc", "part", "new"), 0)
@@ -196,7 +202,11 @@ class PTEMagnetAllocator:
         )
 
     def free_page(
-        self, part: PageReservationTable, vpn: int, frame: int
+        self,
+        part: PageReservationTable,
+        vpn: int,
+        frame: int,
+        owner: Optional[int] = None,
     ) -> bool:
         """Handle the free of one mapped page of a PTEMagnet process.
 
@@ -218,9 +228,19 @@ class PTEMagnetAllocator:
             return False
         entry.unmap_slot(slot)
         self.buddy.memory.set_state(frame, FrameState.RESERVED, None)
+        san = self.buddy.sanitizer
+        if san is not None:
+            # The kernel already unmapped the page (shadow HELD); the slot
+            # rejoins its reservation.
+            san.on_reserve(frame, 1, owner, site="part.free_page")
         emptied = entry.empty
         if emptied:
             part.remove(group)
+            if san is not None:
+                san.on_unreserve(
+                    range(entry.base_frame, entry.base_frame + entry.pages),
+                    site="part.free_page.emptied",
+                )
             for reserved in range(
                 entry.base_frame, entry.base_frame + entry.pages
             ):

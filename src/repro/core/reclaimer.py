@@ -112,8 +112,12 @@ class ReservationReclaimer:
     ) -> int:
         """Release every unallocated reserved page of one process' PaRT."""
         released = 0
+        san = self.buddy.sanitizer
         for reservation in list(part.iter_reservations()):
-            for frame in reservation.unmapped_frames():
+            unmapped = reservation.unmapped_frames()
+            if san is not None:
+                san.on_unreserve(unmapped, site="reclaim.steal")
+            for frame in unmapped:
                 self.buddy.free(frame)
                 released += 1
             # Delete the walked reservation: its remaining mapped pages

@@ -55,6 +55,16 @@ class InvariantViolation(ReproError):
     """
 
 
+class SanitizerViolation(ReproError):
+    """The runtime shadow-state sanitizer caught a lifecycle bug.
+
+    Raised by :mod:`repro.sanitizer` when a physical frame makes an
+    illegal lifecycle transition -- double-free, free of a PaRT-reserved
+    frame, mapping a free frame, one process aliasing a frame at two
+    VPNs, or a reservation/mapping leak at process exit.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation driver was configured or advanced incorrectly."""
 

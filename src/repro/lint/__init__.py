@@ -31,11 +31,15 @@ from .core import (
     lint_source,
     register,
 )
+from .flow import Space, compatible, space_of_name
 from . import rules  # noqa: F401  (imported for rule registration)
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
     "RULES",
+    "Space",
+    "compatible",
+    "space_of_name",
     "UNITS_SCOPED_DIRS",
     "Finding",
     "LintContext",

@@ -32,6 +32,39 @@ def _render_json(findings) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _escape_github_data(value: str) -> str:
+    """Escape a workflow-command message (order matters: % first)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_github_property(value: str) -> str:
+    """Escape a workflow-command property (also , and :)."""
+    return (
+        _escape_github_data(value).replace(",", "%2C").replace(":", "%3A")
+    )
+
+
+def _render_github(findings) -> str:
+    """GitHub Actions workflow commands: findings annotate the diff.
+
+    Columns are 1-based for GitHub; :class:`Finding` stores 0-based
+    ``ast`` column offsets.
+    """
+    lines = [
+        "::error file={path},line={line},col={col},title={title}::{message}".format(
+            path=_escape_github_property(finding.path),
+            line=finding.line,
+            col=finding.col + 1,
+            title=_escape_github_property(f"simlint {finding.rule}"),
+            message=_escape_github_data(finding.message),
+        )
+        for finding in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"simlint: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
@@ -45,9 +78,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; 'github' emits workflow "
+        "commands so CI annotates findings inline)",
     )
     parser.add_argument(
         "--disable",
@@ -81,6 +115,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"cannot lint {exc.filename or '?'}: {exc.strerror or exc}")
     if args.format == "json":
         print(_render_json(findings))
+    elif args.format == "github":
+        print(_render_github(findings))
     else:
         print(_render_text(findings))
     return 1 if findings else 0

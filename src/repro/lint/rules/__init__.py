@@ -1,6 +1,7 @@
 """Rule modules; importing this package registers every built-in rule."""
 
 from . import (
+    address_flow,
     address_math,
     api_hygiene,
     determinism,
@@ -9,6 +10,7 @@ from . import (
 )
 
 __all__ = [
+    "address_flow",
     "address_math",
     "api_hygiene",
     "determinism",

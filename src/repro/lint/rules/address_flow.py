@@ -1,0 +1,34 @@
+"""The ``address-flow`` rule: address-space discipline, statically.
+
+Thin registry shim over :mod:`repro.lint.flow`, which infers an
+address-space lattice (GVA/VPN, GPA/GFN, HPA/HFN, generic
+ADDR/PA/PAGE/FRAME, BYTES, CYCLES) for every expression and flags
+provably cross-space assignments, arithmetic, call arguments and loop
+bindings. Test code is exempt: tests deliberately construct wrong-space
+values to prove checkers fire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import Finding, LintContext, Rule, register
+from ..flow import analyze_module
+
+
+@register
+class AddressFlowRule(Rule):
+    """Flag values flowing between incompatible address spaces."""
+
+    name = "address-flow"
+    category = "address-flow"
+    description = (
+        "dataflow analysis over the gVA/gPA/hPA lattice: cross-space "
+        "assignments, mixed-space arithmetic and wrong-space call "
+        "arguments are bugs even though every value is a bare int"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test_code:
+            return
+        yield from analyze_module(ctx, self)

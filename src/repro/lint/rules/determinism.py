@@ -166,6 +166,76 @@ def _is_set_expr(node: ast.AST) -> bool:
     )
 
 
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet"})
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    """True for ``x: Set[int]`` / ``x: set`` style annotations."""
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    name = None
+    if isinstance(annotation, ast.Name):
+        name = annotation.id
+    elif isinstance(annotation, ast.Attribute):
+        name = annotation.attr
+    return name in _SET_ANNOTATIONS
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope``, not descending into functions."""
+    pending = list(
+        scope.body if isinstance(scope, (ast.Module, ast.FunctionDef,
+                                         ast.AsyncFunctionDef)) else []
+    )
+    while pending:
+        stmt = pending.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                pending.append(child)
+
+
+def _set_bindings(scope: ast.AST) -> Dict[str, bool]:
+    """Name -> "every binding in this scope is a set expression".
+
+    Names rebound to anything that is not provably a set (including
+    loop targets and ``with ... as`` aliases) are mapped to ``False``
+    so they never produce findings.
+    """
+    bindings: Dict[str, bool] = {}
+
+    def bind(name: str, is_set: bool) -> None:
+        bindings[name] = bindings.get(name, True) and is_set
+
+    for stmt in _scope_statements(scope):
+        if isinstance(stmt, ast.Assign):
+            is_set = _is_set_expr(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    bind(target.id, is_set)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            bind(element.id, False)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                if _annotation_is_set(stmt.annotation):
+                    bind(stmt.target.id, True)
+                elif stmt.value is not None:
+                    bind(stmt.target.id, _is_set_expr(stmt.value))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for node in ast.walk(stmt.target):
+                if isinstance(node, ast.Name):
+                    bind(node.id, False)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    bind(item.optional_vars.id, False)
+    return bindings
+
+
 @register
 class SetOrderRule(Rule):
     """Flag result-ordering derived from unordered set iteration."""
@@ -173,33 +243,81 @@ class SetOrderRule(Rule):
     name = "set-order"
     category = "determinism"
     description = (
-        "iterating a set produces hash-dependent order; sort before any "
+        "iterating a set (literal or a variable every binding of which "
+        "is a set) produces hash-dependent order; sort before any "
         "iteration whose order can reach results"
     )
 
     _MATERIALIZERS = frozenset({"list", "tuple", "enumerate"})
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module_bindings = _set_bindings(ctx.tree)
+        yield from self._check_scope(ctx, ctx.tree, module_bindings)
         for node in ast.walk(ctx.tree):
-            iterables = []
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                iterables.append(node.iter)
-            elif isinstance(
-                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
-            ):
-                iterables.extend(gen.iter for gen in node.generators)
-            elif (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id in self._MATERIALIZERS
-                and node.args
-            ):
-                iterables.append(node.args[0])
-            for iterable in iterables:
-                if _is_set_expr(iterable):
-                    yield ctx.finding(
-                        iterable,
-                        self,
-                        "iteration over an unordered set; wrap in "
-                        "sorted(...) so replay order is deterministic",
-                    )
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bindings = dict(module_bindings)
+                # Parameters and local rebinds shadow module names.
+                args = node.args
+                params = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+                for param in params:
+                    bindings[param.arg] = False
+                bindings.update(_set_bindings(node))
+                yield from self._check_scope(ctx, node, bindings)
+
+    def _check_scope(
+        self, ctx: LintContext, scope: ast.AST, bindings: Dict[str, bool]
+    ) -> Iterator[Finding]:
+        # _scope_statements already yields every nested statement of the
+        # scope (and only this scope), so per statement only its direct
+        # expression children need walking: expressions cannot contain
+        # further statements.
+        for stmt in _scope_statements(scope):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                yield from self._check_iterable(ctx, stmt.iter, bindings)
+            for child in ast.iter_child_nodes(stmt):
+                if not isinstance(child, ast.expr):
+                    continue
+                for node in ast.walk(child):
+                    if isinstance(
+                        node,
+                        (ast.ListComp, ast.SetComp, ast.DictComp,
+                         ast.GeneratorExp),
+                    ):
+                        for gen in node.generators:
+                            yield from self._check_iterable(
+                                ctx, gen.iter, bindings
+                            )
+                    elif (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in self._MATERIALIZERS
+                        and node.args
+                    ):
+                        yield from self._check_iterable(
+                            ctx, node.args[0], bindings
+                        )
+
+    def _check_iterable(
+        self, ctx: LintContext, iterable: ast.expr, bindings: Dict[str, bool]
+    ) -> Iterator[Finding]:
+        if _is_set_expr(iterable):
+            yield ctx.finding(
+                iterable,
+                self,
+                "iteration over an unordered set; wrap in "
+                "sorted(...) so replay order is deterministic",
+            )
+        elif (
+            isinstance(iterable, ast.Name)
+            and bindings.get(iterable.id, False)
+        ):
+            yield ctx.finding(
+                iterable,
+                self,
+                f"iteration over set variable '{iterable.id}'; wrap "
+                "in sorted(...) so replay order is deterministic",
+            )

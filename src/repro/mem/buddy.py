@@ -80,6 +80,9 @@ class BuddyAllocator:
             raise ValueError("reserved_base_frames out of range")
         self.memory = memory
         self.stats = BuddyStats()
+        #: Optional :class:`repro.sanitizer.FrameSanitizer` attached by the
+        #: kernel in debug mode; ``None`` keeps every hook to one attr read.
+        self.sanitizer = None
         # One insertion-ordered dict per order; keys are block base frames.
         # Items are pushed/popped at the *end*, giving LIFO (hot-page) reuse.
         self._free: List[Dict[int, None]] = [
@@ -171,6 +174,9 @@ class BuddyAllocator:
         self._free_frames -= 1 << order
         self.stats.record_alloc(order)
         self.memory.set_range_state(base, 1 << order, state, owner)
+        san = self.sanitizer
+        if san is not None:
+            san.on_alloc(base, 1 << order, owner)
         if _tp_alloc.enabled:
             _tp_alloc.emit(order=order, base=base, owner=owner)
         if _tp_watermark.enabled:
@@ -183,6 +189,11 @@ class BuddyAllocator:
         Coalesces with free buddies up to :data:`MAX_ORDER`, exactly like
         ``__free_pages`` in Linux.
         """
+        san = self.sanitizer
+        if san is not None:
+            # Before mutating: the shadow state names the bug precisely
+            # (double-free vs free-of-reserved vs free-of-mapped).
+            san.on_free(base, self._allocated_order.get(base))
         order = self._allocated_order.pop(base, None)
         if order is None:
             raise ReproError(
@@ -250,6 +261,9 @@ class BuddyAllocator:
             self._free_frames -= 1
             self.stats.record_alloc(0)
             self.memory.set_state(frame, state, owner)
+            san = self.sanitizer
+            if san is not None:
+                san.on_alloc(frame, 1, owner, site="buddy.alloc_frame_at")
             if _tp_alloc.enabled:
                 _tp_alloc.emit(order=0, base=frame, owner=owner)
             if _tp_watermark.enabled:

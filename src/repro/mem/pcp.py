@@ -96,6 +96,9 @@ class PerCpuPageCache:
             if PROFILER.enabled:
                 PROFILER.add(("alloc", "pcp", "hit"), 0)
         frame = entries.pop()
+        san = self.buddy.sanitizer
+        if san is not None:
+            san.on_pcp_take(frame, cpu)
         self.buddy.memory.set_state(frame, state, owner)
         return frame
 
@@ -110,6 +113,9 @@ class PerCpuPageCache:
             except OutOfMemoryError:
                 break
             entries.append(frame)
+            san = self.buddy.sanitizer
+            if san is not None:
+                san.on_pcp_fill(frame, cpu)
         if not entries:
             raise OutOfMemoryError(
                 f"{self.buddy.memory.name}: pcp refill found no free pages"
@@ -127,6 +133,9 @@ class PerCpuPageCache:
         self.buddy.memory.set_state(frame, FrameState.KERNEL, None)
         entries = self._lists[cpu]
         entries.append(frame)
+        san = self.buddy.sanitizer
+        if san is not None:
+            san.on_pcp_fill(frame, cpu)
         self.stats.frees_cached += 1
         if len(entries) > self.high:
             self._drain(cpu)
@@ -135,8 +144,12 @@ class PerCpuPageCache:
         """Push ``batch`` pages from ``cpu``'s cache back to the buddy."""
         entries = self._lists[cpu]
         drained = min(self.batch, len(entries))
+        san = self.buddy.sanitizer
         for _ in range(drained):
-            self.buddy.free(entries.pop(0))
+            frame = entries.pop(0)
+            if san is not None:
+                san.on_pcp_take(frame, cpu)
+            self.buddy.free(frame)
         self.stats.drains += 1
         if PROFILER.enabled:
             PROFILER.add(("alloc", "pcp", "drain"), 0, count=drained)
@@ -145,9 +158,13 @@ class PerCpuPageCache:
 
     def drain_all(self) -> None:
         """Return every cached page to the buddy (offline/teardown)."""
+        san = self.buddy.sanitizer
         for cpu, entries in self._lists.items():
             while entries:
-                self.buddy.free(entries.pop())
+                frame = entries.pop()
+                if san is not None:
+                    san.on_pcp_take(frame, cpu)
+                self.buddy.free(frame)
 
     @property
     def free_frames_total(self) -> int:

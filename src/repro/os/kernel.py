@@ -28,6 +28,7 @@ from ..obs.histogram import Log2Histogram
 from ..obs.profile import PROFILER
 from ..obs.trace import tracepoint
 from ..pagetable.pte import PteFlags, pte_flags, pte_frame
+from ..sanitizer import FrameSanitizer, sanitizer_enabled
 from .fault import FaultKind, FaultOutcome, default_alloc
 from .process import Process
 from .vma import Protection, Vma
@@ -81,6 +82,10 @@ class GuestKernel:
         self.rng = rng or random.Random(0)
         self.memory = PhysicalMemory(config.frames, name="guest")
         self.buddy = BuddyAllocator(self.memory, reserved_base_frames=64)
+        self.sanitizer: Optional[FrameSanitizer] = None
+        if config.sanitize or sanitizer_enabled():
+            self.sanitizer = FrameSanitizer(name="guest")
+            self.buddy.sanitizer = self.sanitizer
         self.stats = KernelStats()
         self.processes: Dict[int, Process] = {}
         self._next_pid = 1
@@ -125,6 +130,9 @@ class GuestKernel:
             self._next_pid, name, page_table, memory_limit_bytes
         )
         self._next_pid += 1
+        if self.sanitizer is not None:
+            page_table.sanitizer = self.sanitizer
+            page_table.owner_pid = process.pid
         if self.ptemagnet is not None and self.policy.enabled_for(
             memory_limit_bytes
         ):
@@ -151,7 +159,10 @@ class GuestKernel:
             self.munmap(process, vma.start_vpn, vma.npages)
         if process.part is not None:
             for reservation in list(process.part.iter_reservations()):
-                for frame in reservation.unmapped_frames():
+                unmapped = reservation.unmapped_frames()
+                if self.sanitizer is not None:
+                    self.sanitizer.on_unreserve(unmapped, site="exit")
+                for frame in unmapped:
                     self.buddy.free(frame)
                 process.part.remove(reservation.group)
         process.page_table.destroy()
@@ -159,6 +170,8 @@ class GuestKernel:
         self.buddy.free(process.page_table.root.frame)
         process.alive = False
         del self.processes[process.pid]
+        if self.sanitizer is not None:
+            self.sanitizer.on_process_exit(process.pid)
 
     # ------------------------------------------------------------------ #
     # Virtual memory syscalls
@@ -445,7 +458,9 @@ class GuestKernel:
         self._refcount.pop(frame, None)
         self.stats.pages_freed += 1
         if process.part is not None and self.ptemagnet is not None:
-            if self.ptemagnet.free_page(process.part, vpn, frame):
+            if self.ptemagnet.free_page(
+                process.part, vpn, frame, owner=process.pid
+            ):
                 return
         if self.pcp is not None:
             self.pcp.free_frame(process.pid, frame)

@@ -75,6 +75,9 @@ class SwapDaemon:
         entry = victim.part.lookup(group)
         if entry is None:
             return
-        for frame in entry.unmapped_frames():
+        unmapped = entry.unmapped_frames()
+        if self.kernel.sanitizer is not None:
+            self.kernel.sanitizer.on_unreserve(unmapped, site="swap.evict")
+        for frame in unmapped:
             self.kernel.buddy.free(frame)
         victim.part.remove(group)

@@ -78,6 +78,12 @@ class PageTable:
         self.root = PageTableNode(self._alloc_frame(), levels)
         self.mapped_pages = 0
         self.node_count = 1
+        #: Optional :class:`repro.sanitizer.FrameSanitizer` plus the owning
+        #: pid, attached by the kernel in debug mode so every PTE install /
+        #: removal advances the frame's shadow lifecycle. Host page tables
+        #: keep these ``None``.
+        self.sanitizer = None
+        self.owner_pid: Optional[int] = None
 
     def _indices(self, vpn: int):
         if self.levels == PT_LEVELS:
@@ -111,6 +117,9 @@ class PageTable:
             raise PageTableError(f"vpn {vpn:#x} already mapped")
         node.entries[leaf_index] = make_pte(pfn, flags | PteFlags.PRESENT)
         self.mapped_pages += 1
+        san = self.sanitizer
+        if san is not None:
+            san.on_map(self.owner_pid, vpn, pfn)
 
     def map_huge(self, vpn: int, pfn: int) -> None:
         """Install a 2MB huge mapping at level 2 (THP baseline support).
@@ -139,6 +148,10 @@ class PageTable:
             pfn, PteFlags.PRESENT | PteFlags.HUGE
         )
         self.mapped_pages += self.HUGE_PAGES
+        san = self.sanitizer
+        if san is not None:
+            for offset in range(self.HUGE_PAGES):
+                san.on_map(self.owner_pid, vpn + offset, pfn + offset)
 
     def unmap_huge(self, vpn: int) -> int:
         """Remove the huge mapping covering ``vpn``; returns its base frame."""
@@ -156,6 +169,11 @@ class PageTable:
         if not pte_present(pte) or not pte & PteFlags.HUGE:
             raise PageTableError(f"vpn {vpn:#x} has no huge mapping")
         self.mapped_pages -= self.HUGE_PAGES
+        san = self.sanitizer
+        if san is not None:
+            base_frame = pte_frame(pte)
+            for offset in range(self.HUGE_PAGES):
+                san.on_unmap(self.owner_pid, vpn + offset, base_frame + offset)
         for parent, index in reversed(path):
             child = parent.children[index]
             if child.live_slots:
@@ -199,6 +217,9 @@ class PageTable:
         if not pte_present(pte):
             raise PageTableError(f"vpn {vpn:#x} not mapped")
         self.mapped_pages -= 1
+        san = self.sanitizer
+        if san is not None:
+            san.on_unmap(self.owner_pid, vpn, pte_frame(pte))
         # Prune now-empty nodes bottom-up.
         for parent, index in reversed(path):
             child = parent.children[index]
@@ -214,7 +235,14 @@ class PageTable:
         node, leaf_index = self._leaf_for(vpn)
         if node is None or not pte_present(node.entries.get(leaf_index, 0)):
             raise PageTableError(f"vpn {vpn:#x} not mapped")
+        old_pte = node.entries[leaf_index]
         node.entries[leaf_index] = make_pte(pfn, flags | PteFlags.PRESENT)
+        san = self.sanitizer
+        if san is not None:
+            old_frame = pte_frame(old_pte)
+            if old_frame != pfn:  # e.g. COW break: drop old ref, take new
+                san.on_unmap(self.owner_pid, vpn, old_frame)
+                san.on_map(self.owner_pid, vpn, pfn)
 
     # ------------------------------------------------------------------ #
     # Lookup

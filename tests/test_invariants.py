@@ -233,6 +233,39 @@ class TestKernelContracts:
 
 
 # ---------------------------------------------------------------------- #
+# Periodic full sweep under reclaim pressure
+# ---------------------------------------------------------------------- #
+
+class TestFullSweepUnderReclaim:
+    def test_full_sweep_stays_silent_while_reclaim_churns(self, monkeypatch):
+        """The O(live-state) sweep must hold while the reclaim daemon is
+        actively stealing reserved pages between faults -- the state it
+        checks (buddy lists, PaRT, frame map) churns hardest there."""
+        import repro.invariants as invariants_mod
+
+        monkeypatch.setattr(invariants_mod, "FULL_CHECK_INTERVAL", 32)
+        sweeps = []
+        real_check_kernel = invariants_mod.check_kernel
+        monkeypatch.setattr(
+            invariants_mod,
+            "check_kernel",
+            lambda kernel: (sweeps.append(1), real_check_kernel(kernel)),
+        )
+        kernel = make_kernel(
+            ptemagnet=True, reclaim_threshold=0.9, check_invariants=True
+        )
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 1500)
+        for step, vpn in enumerate(vma.pages()):
+            kernel.handle_fault(process, vpn)
+            if step % 64 == 63:
+                kernel.run_reclaim()
+        assert kernel.reclaimer.invocations > 0
+        assert len(sweeps) >= 2  # several full sweeps crossed reclaim passes
+        real_check_kernel(kernel)  # and the final state is still consistent
+
+
+# ---------------------------------------------------------------------- #
 # Enablement plumbing
 # ---------------------------------------------------------------------- #
 

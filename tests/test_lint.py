@@ -59,6 +59,7 @@ def test_registry_has_expected_rules():
         "raw-output",
         "tracepoint-naming",
         "metrics-naming",
+        "address-flow",
     } <= names
     assert set(RULES) == names
 
@@ -145,6 +146,48 @@ def test_set_order_allows_sorted_set():
     assert rules_hit(src) == []
 
 
+def test_set_order_flags_iteration_over_set_variable():
+    src = "pending = set()\nfor frame in pending:\n    free(frame)\n"
+    assert rules_hit(src) == ["set-order"]
+
+
+def test_set_order_flags_comprehension_over_set_variable():
+    src = "seen = {1, 2}\nout = [f(x) for x in seen]\n"
+    assert rules_hit(src) == ["set-order"]
+
+
+def test_set_order_flags_annotated_set_variable():
+    src = (
+        "from typing import Set\n"
+        "def f():\n"
+        "    live: Set[int] = set()\n"
+        "    for frame in live:\n"
+        "        free(frame)\n"
+    )
+    assert rules_hit(src) == ["set-order"]
+
+
+def test_set_order_allows_rebound_set_variable():
+    # Rebinding to a non-set anywhere in the scope clears the inference.
+    src = "items = set()\nitems = sorted(items)\nfor x in items:\n    f(x)\n"
+    assert rules_hit(src) == []
+
+
+def test_set_order_allows_sorted_set_variable():
+    src = "pending = set()\nfor frame in sorted(pending):\n    free(frame)\n"
+    assert rules_hit(src) == []
+
+
+def test_set_order_parameter_shadows_module_set():
+    src = (
+        "names = set()\n"
+        "def f(names):\n"
+        "    for name in names:\n"
+        "        g(name)\n"
+    )
+    assert rules_hit(src) == []
+
+
 # ---------------------------------------------------------------------- #
 # units: magic-number
 # ---------------------------------------------------------------------- #
@@ -200,6 +243,90 @@ def test_address_division_allows_floor_division():
 def test_address_division_allows_count_ratios():
     # Plural tokens name counts, not addresses: ratios are legitimate.
     src = "fraction = free_frames / num_frames\n"
+    assert rules_hit(src) == []
+
+
+# ---------------------------------------------------------------------- #
+# address-flow: the gVA/gPA/hPA lattice dataflow pass
+# ---------------------------------------------------------------------- #
+
+def test_address_flow_flags_swapped_map_arguments():
+    src = "def fault(pt, vpn, frame):\n    pt.map(frame, vpn)\n"
+    assert rules_hit(src) == ["address-flow", "address-flow"]
+
+
+def test_address_flow_allows_correct_map_arguments():
+    src = "def fault(pt, vpn, frame):\n    pt.map(vpn, frame)\n"
+    assert rules_hit(src) == []
+
+
+def test_address_flow_host_page_table_signature():
+    # host_pt.map takes guest-frame -> host-frame, not vpn -> frame.
+    src = "def back(vm, gfn, hfn):\n    vm.host_pt.map(gfn, hfn)\n"
+    assert rules_hit(src) == []
+    # Without a host-flavoured receiver the guest signature applies: the
+    # first argument must be a VPN (hfn still satisfies the generic FRAME).
+    src = "def back(pt, gfn, hfn):\n    pt.map(gfn, hfn)\n"
+    assert rules_hit(src) == ["address-flow"]
+
+
+def test_address_flow_flags_cross_space_assignment():
+    src = "def f(vpn, frame):\n    vpn = frame\n    return vpn\n"
+    assert rules_hit(src) == ["address-flow"]
+
+
+def test_address_flow_flags_mixed_space_arithmetic():
+    src = "def f(vpn, frame):\n    return vpn + frame\n"
+    assert rules_hit(src) == ["address-flow"]
+
+
+def test_address_flow_allows_addr_plus_bytes():
+    src = "def f(gva, nbytes):\n    return gva + nbytes\n"
+    assert rules_hit(src) == []
+
+
+def test_address_flow_tracks_shift_conversions():
+    src = (
+        "from repro.units import PAGE_SHIFT\n"
+        "def f(gva):\n"
+        "    vpn = gva >> PAGE_SHIFT\n"
+        "    return vpn\n"
+    )
+    assert rules_hit(src) == []
+    src = (
+        "from repro.units import PAGE_SHIFT\n"
+        "def f(gva, frame):\n"
+        "    frame = gva >> PAGE_SHIFT\n"
+        "    return frame\n"
+    )
+    assert rules_hit(src) == ["address-flow"]
+
+
+def test_address_flow_flags_wrong_space_keyword_argument():
+    src = "def f(frame):\n    emit(vpn=frame)\n"
+    assert rules_hit(src) == ["address-flow"]
+
+
+def test_address_flow_checks_local_function_signatures():
+    src = (
+        "def translate(vpn):\n"
+        "    return vpn\n"
+        "def f(frame):\n"
+        "    return translate(frame)\n"
+    )
+    assert rules_hit(src) == ["address-flow"]
+
+
+def test_address_flow_skips_test_code():
+    src = "def fault(pt, vpn, frame):\n    pt.map(frame, vpn)\n"
+    assert rules_hit(src, path="tests/test_x.py") == []
+
+
+def test_address_flow_pragma_suppression():
+    src = (
+        "def fault(pt, vpn, frame):\n"
+        "    pt.map(frame, vpn)  # simlint: disable=address-flow\n"
+    )
     assert rules_hit(src) == []
 
 
@@ -311,6 +438,29 @@ def test_cli_json_schema_is_stable(tmp_path, capsys):
     assert set(finding) == {"path", "line", "col", "rule", "message"}
     assert finding["rule"] == "wall-clock"
     assert finding["line"] == 2
+
+
+def test_cli_github_format_emits_workflow_commands(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SNIPPET)
+    assert lint_main([str(bad), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    (annotation, summary) = out.strip().splitlines()
+    assert annotation.startswith("::error file=")
+    assert ",line=2," in annotation
+    assert "title=simlint wall-clock::" in annotation
+    assert summary == "simlint: 1 finding"
+
+
+def test_cli_github_format_escapes_message_payload(tmp_path, capsys):
+    from repro.lint.cli import _escape_github_data, _escape_github_property
+
+    assert _escape_github_data("50% done\nnext") == "50%25 done%0Anext"
+    assert _escape_github_property("a,b:c%d") == "a%2Cb%3Ac%25d"
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean), "--format", "github"]) == 0
+    assert "0 findings" in capsys.readouterr().out
 
 
 def test_cli_disable_flag(tmp_path):
