@@ -9,6 +9,11 @@ Regenerates any table or figure of the paper's evaluation from the shell:
 Each experiment prints the paper-style rendering; ``--json`` additionally
 dumps the structured numbers for downstream processing.
 
+``--jobs N`` fans the experiment x seed cells (``--seeds 0,1,2`` runs
+each experiment once per seed) over N spawn-safe worker processes; the
+parent merges results in submission order, so the report and every
+output file stay byte-identical to ``--jobs 1``. See :mod:`repro.parallel`.
+
 With ``--trace PATH`` the run streams every enabled tracepoint event to a
 JSONL trace keyed to modelled cycles (inspect with ``python -m repro.obs
 summarize`` or convert for Perfetto with ``python -m repro.obs export``);
@@ -28,7 +33,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Callable, Dict, Mapping, Tuple
 
 from ..config import PlatformConfig
@@ -38,6 +42,7 @@ from ..metrics.report import Table
 from ..obs.profile import PROFILER
 from ..obs.sinks import JsonlSink
 from ..obs.trace import TRACER
+from ..parallel import ExperimentCell, ParallelExecutionError, run_cells
 from ..workloads.registry import table3_rows
 from .baselines import render_baselines, run_baselines
 from .figure5 import render_figure5, run_figure5
@@ -45,6 +50,7 @@ from .figure6 import render_figure6, run_figure6
 from .figure7 import render_figure7, run_figure7
 from .sec62 import render_sec62, run_adversarial_sec62, run_sec62
 from .sec64 import render_sec64, run_sec64
+from .sensitivity import render_sensitivity, sweep_dram_latency, sweep_llc
 from .table1 import render_table1, run_table1
 from .table4 import render_table4, run_table4
 
@@ -140,6 +146,17 @@ def sec64_snapshots(result) -> Dict[str, MetricsSnapshot]:
         "sec64.change_percent": result.change_percent,
     }
     return {"sec64": _gauge_snapshot("sec64", gauges)}
+
+
+def sensitivity_snapshots(llc, dram) -> Dict[str, MetricsSnapshot]:
+    gauges = {}
+    for size_kb, (improvement, hpt_mem) in llc.points.items():
+        gauges[f"sensitivity.llc_{size_kb}kb.improvement"] = improvement
+        gauges[f"sensitivity.llc_{size_kb}kb.hpt_memory_accesses"] = hpt_mem
+    for latency, (improvement, hpt_mem) in dram.points.items():
+        gauges[f"sensitivity.dram_{latency}c.improvement"] = improvement
+        gauges[f"sensitivity.dram_{latency}c.hpt_memory_accesses"] = hpt_mem
+    return {"sensitivity": _gauge_snapshot("sensitivity", gauges)}
 
 
 def baselines_snapshots(result) -> Dict[str, MetricsSnapshot]:
@@ -244,6 +261,29 @@ def _run_sec64(platform, seed):
     return render_sec64(result), payload, sec64_snapshots(result)
 
 
+def _run_sensitivity(platform, seed):
+    llc = sweep_llc(platform, seed=seed)
+    dram = sweep_dram_latency(platform, seed=seed)
+    payload = {
+        "llc_kb": {
+            str(value): {
+                "improvement_percent": improvement,
+                "hpt_memory_accesses": hpt_mem,
+            }
+            for value, (improvement, hpt_mem) in llc.points.items()
+        },
+        "dram_latency_cycles": {
+            str(value): {
+                "improvement_percent": improvement,
+                "hpt_memory_accesses": hpt_mem,
+            }
+            for value, (improvement, hpt_mem) in dram.points.items()
+        },
+    }
+    text = render_sensitivity(llc) + "\n\n" + render_sensitivity(dram)
+    return text, payload, sensitivity_snapshots(llc, dram)
+
+
 def _run_baselines(platform, seed):
     result = run_baselines(platform, "pagerank", seed)
     payload = {
@@ -269,6 +309,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "figure7": _run_figure7,
     "sec62": _run_sec62,
     "sec64": _run_sec64,
+    "sensitivity": _run_sensitivity,
 }
 
 
@@ -284,6 +325,21 @@ def main(argv=None) -> int:
         help="which experiment to run (default: all)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seeds",
+        metavar="CSV",
+        help='comma-separated seed list (e.g. "0,1,2"); each experiment '
+        "runs once per seed; overrides --seed",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiment cells in N worker processes (results are "
+        "merged in submission order, so output files are byte-identical "
+        "to --jobs 1)",
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -339,9 +395,36 @@ def main(argv=None) -> int:
         parser.error(
             "--metrics-out/--profile/--flamegraph need a single --experiment"
         )
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.jobs > 1 and (
+        args.trace or args.sample_interval or args.profile or args.flamegraph
+    ):
+        parser.error(
+            "--trace/--sample-interval/--profile/--flamegraph rely on "
+            "process-global observability state and require --jobs 1"
+        )
+    if args.seeds is not None:
+        try:
+            seeds = [
+                int(token)
+                for token in args.seeds.split(",")
+                if token.strip()
+            ]
+        except ValueError:
+            parser.error("--seeds must be a comma-separated integer list")
+        if not seeds:
+            parser.error("--seeds must name at least one seed")
+        if len(set(seeds)) != len(seeds):
+            parser.error("--seeds must not repeat a seed")
+    else:
+        seeds = [args.seed]
 
-    platform = PlatformConfig()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    multi_seed = len(seeds) > 1
+    cells = [
+        ExperimentCell(name, seed) for name in names for seed in seeds
+    ]
     payloads = {}
     snapshots: Dict[str, MetricsSnapshot] = {}
     sink = None
@@ -359,16 +442,27 @@ def main(argv=None) -> int:
         PROFILER.reset()
         PROFILER.enable()
     try:
-        for name in names:
-            started = time.perf_counter()
-            text, payload, experiment_snapshots = EXPERIMENTS[name](
-                platform, args.seed
-            )
-            elapsed = time.perf_counter() - started
-            print(text)
-            print(f"[{name}: {elapsed:.1f}s]\n")
-            payloads[name] = payload
-            snapshots = experiment_snapshots
+        # Both --jobs 1 and --jobs N flow through the same cell/merge
+        # code (results arrive in submission order either way), so the
+        # printed report and every output file are byte-identical.
+        for result in run_cells(cells, args.jobs):
+            name = result.cell.experiment
+            seed = result.cell.seed
+            print(result.text)
+            if multi_seed:
+                print(f"[{name} seed={seed}: {result.elapsed_seconds:.1f}s]\n")
+                payloads.setdefault(name, {})[f"seed{seed}"] = result.payload
+            else:
+                print(f"[{name}: {result.elapsed_seconds:.1f}s]\n")
+                payloads[name] = result.payload
+            for label, doc in result.snapshot_docs.items():
+                snapshot = MetricsSnapshot.from_dict(doc)
+                if multi_seed:
+                    snapshot.label = f"{label}.seed{seed}"
+                snapshots[snapshot.label] = snapshot
+    except ParallelExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if args.profile:
             PROFILER.disable()

@@ -5,6 +5,7 @@ from . import (
     address_math,
     api_hygiene,
     determinism,
+    fastpath_invalidation,
     observability,
     units_discipline,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "address_math",
     "api_hygiene",
     "determinism",
+    "fastpath_invalidation",
     "observability",
     "units_discipline",
 ]

@@ -1,0 +1,105 @@
+"""Fast-path invalidation contract: PTE mutations must shoot down.
+
+The engine's translation fast path (:mod:`repro.sim.fastpath`) keeps a
+per-core mirror of the L1 TLB. The mirror stays correct only because
+every translation-*changing* guest page-table mutation reaches a TLB
+shootdown: kernel code calls ``_notify_unmap(pid, vpn)`` (fanned out to
+each core's ``TlbHierarchy.invalidate``, which maintains the mirror)
+alongside every ``page_table.unmap`` / ``unmap_huge`` / ``update`` call
+-- the COW break, swap/reclaim, huge-split and free paths all follow
+this pairing (see docs/internals.md, "Performance").
+
+This rule pins the pairing statically: a function that mutates an
+existing guest translation with no invalidation hook in sight is a
+fast-path correctness bug even while no test happens to trip over the
+stale entry. ``map``/``map_huge`` install translations where none
+existed -- no TLB entry can be stale -- so they need no shootdown and
+are not checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, LintContext, Rule, register
+
+#: Page-table methods that change or remove an existing translation.
+MUTATORS = frozenset({"unmap", "unmap_huge", "update"})
+
+#: Calls that count as reaching the shootdown/invalidation machinery.
+INVALIDATION_HOOKS = frozenset(
+    {"_notify_unmap", "notify_unmap", "invalidate", "flush"}
+)
+
+#: Receiver names identifying a *guest* page table. Host-PT mutations
+#: (``host_pt.unmap`` in the hypervisor's unback path) are out of scope:
+#: the model never unbacks frames inside a measured window.
+GUEST_PT_RECEIVERS = frozenset({"page_table"})
+
+
+def _is_guest_pt_mutation(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in MUTATORS):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr in GUEST_PT_RECEIVERS
+    if isinstance(receiver, ast.Name):
+        return receiver.id in GUEST_PT_RECEIVERS
+    return False
+
+
+def _calls_invalidation_hook(func_node: ast.AST) -> bool:
+    for node in ast.walk(func_node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if name in INVALIDATION_HOOKS:
+            return True
+    return False
+
+
+@register
+class FastpathInvalidationRule(Rule):
+    """Flag guest-PT mutations with no TLB invalidation in the function."""
+
+    name = "fastpath-invalidation"
+    category = "correctness"
+    description = (
+        "a function mutating an existing guest page-table translation "
+        "(page_table.unmap/unmap_huge/update) must also reach a TLB "
+        "shootdown (_notify_unmap/invalidate/flush), or the engine "
+        "fast path can serve a stale translation"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test_code:
+            return
+        for func_node in ast.walk(ctx.tree):
+            if not isinstance(
+                func_node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            mutations = [
+                node
+                for body_item in func_node.body
+                for node in ast.walk(body_item)
+                if isinstance(node, ast.Call) and _is_guest_pt_mutation(node)
+            ]
+            if not mutations or _calls_invalidation_hook(func_node):
+                continue
+            for node in mutations:
+                yield ctx.finding(
+                    node,
+                    self,
+                    f"{node.func.attr}() mutates an existing guest "
+                    "translation but this function never reaches a TLB "
+                    "shootdown (_notify_unmap/invalidate/flush); the "
+                    "fast-path mirror would go stale",
+                )

@@ -1,0 +1,124 @@
+"""Spawn-safe parallel execution of experiment cells.
+
+``python -m repro.experiments.runner --jobs N`` fans the requested
+experiment x seed cells out over worker processes. Experiment cells are
+embarrassingly parallel -- every cell builds a complete simulation stack
+from its (experiment, seed) coordinates -- so the only work this module
+does beyond pool management is keeping parallel output *deterministic*:
+
+* Workers share no state: the pool uses the ``spawn`` start method, so
+  each worker imports the package fresh and builds its own
+  :class:`~repro.config.PlatformConfig` and simulation stack. Nothing
+  leaks between cells even on platforms where ``fork`` is the default.
+* Results travel as JSON-safe documents
+  (:meth:`~repro.metrics.registry.MetricsSnapshot.to_dict`), never as
+  pickled model objects, so a worker of one build cannot smuggle
+  unstable state into the parent.
+* The parent consumes results strictly in submission order, regardless
+  of completion order. Files written from a parallel run are therefore
+  byte-identical to a ``--jobs 1`` run.
+
+A worker that dies outright (hard exit, OOM kill) surfaces as
+:class:`ParallelExecutionError` naming the cell that was in flight --
+never as a hang. Ordinary exceptions raised by experiment code pickle
+through the pool and re-raise in the parent unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Dict, Iterator, Sequence, Tuple
+
+from .errors import ReproError
+
+#: What a worker returns: (rendered text, JSON payload, snapshot
+#: documents keyed by label, elapsed seconds).
+CellOutput = Tuple[str, dict, Dict[str, dict], float]
+
+
+class ParallelExecutionError(ReproError):
+    """A worker process died before returning its cell's result."""
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (experiment, seed) unit of schedulable work."""
+
+    experiment: str
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.experiment}[seed={self.seed}]"
+
+
+@dataclass
+class CellResult:
+    """One executed cell's results, as handed back to the parent."""
+
+    cell: ExperimentCell
+    text: str
+    payload: dict
+    #: label -> snapshot document (see ``MetricsSnapshot.to_dict``).
+    snapshot_docs: Dict[str, dict]
+    elapsed_seconds: float
+
+
+def run_cell(experiment: str, seed: int) -> CellOutput:
+    """Execute one cell and return JSON-safe results.
+
+    Top-level so it pickles under the spawn start method; the imports
+    happen inside so a fresh worker builds the full stack itself (and so
+    importing this module never drags in the whole experiment suite).
+    """
+    from .config import PlatformConfig
+    from .experiments.runner import EXPERIMENTS
+
+    started = time.perf_counter()
+    text, payload, snapshots = EXPERIMENTS[experiment](
+        PlatformConfig(), seed
+    )
+    elapsed = time.perf_counter() - started
+    docs = {label: snapshots[label].to_dict() for label in snapshots}
+    return text, payload, docs, elapsed
+
+
+def run_cells(
+    cells: Sequence[ExperimentCell],
+    jobs: int,
+    worker: Callable[[str, int], CellOutput] = run_cell,
+) -> Iterator[CellResult]:
+    """Run ``cells``, yielding results in submission order.
+
+    ``jobs == 1`` executes in-process (which keeps the global
+    ``--trace``/``--profile`` plumbing usable); ``jobs > 1`` fans out
+    over ``jobs`` spawned workers. Either way results are yielded in
+    submission order regardless of completion order, so consumers that
+    merge or print them are deterministic by construction.
+    """
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1")
+    if jobs == 1:
+        for cell in cells:
+            yield CellResult(cell, *worker(cell.experiment, cell.seed))
+        return
+    context = get_context("spawn")
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        submitted = [
+            (cell, pool.submit(worker, cell.experiment, cell.seed))
+            for cell in cells
+        ]
+        for cell, future in submitted:
+            try:
+                text, payload, docs, elapsed = future.result()
+            except BrokenProcessPool as exc:
+                raise ParallelExecutionError(
+                    f"worker process died while running {cell.label}; "
+                    "partial results were discarded (worker crash or "
+                    "out-of-memory kill)"
+                ) from exc
+            yield CellResult(cell, text, payload, docs, elapsed)

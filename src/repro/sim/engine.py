@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..cache.hierarchy import AccessOutcome
 from ..config import PlatformConfig
 from ..errors import SimulationError
 from ..metrics.counters import PerfCounters
@@ -48,6 +49,9 @@ from .scheduler import RoundRobinScheduler
 
 _tp_sched_turn = tracepoint("sched.turn")
 
+#: Hoisted for the engine fast path's inlined L1-hit data access.
+_OUTCOME_L1 = AccessOutcome.L1
+
 
 class WorkloadRun:
     """One workload executing inside the simulated VM on its own core."""
@@ -69,6 +73,28 @@ class WorkloadRun:
         self.weight = weight
         self.counters = PerfCounters()
         self.measuring = False
+        # Hot-path bindings for the translation fast path (see
+        # repro.sim.fastpath): the per-core mirror of L1 TLB content,
+        # the L1 TLB itself (its hit counter must advance exactly as the
+        # interpreted path would), and the fixed issue cost.
+        self._xlate = core.xlate
+        self._tlb_l1 = core.tlb.l1
+        self._base_cycles = core.config.base_cycles_per_access
+        # Data accesses go through the inlined hot-path entry when the
+        # fast path is on, and through the original layered entry under
+        # REPRO_NO_FASTPATH -- both reach identical state and counters.
+        # The L1 set array/geometry are bound here for the fully inlined
+        # L1-hit case; SetAssociativeCache mutates its sets in place and
+        # never rebinds them, so the aliases stay valid for the run.
+        self._hier = core.hierarchy
+        if core.xlate is not None:
+            self._data_access = core.hierarchy.access_data
+        else:
+            self._data_access = core.hierarchy.access
+        l1 = core.hierarchy.l1
+        self._dl1 = l1
+        self._dl1_sets = l1._sets
+        self._dl1_nsets = l1.num_sets
         #: When True, accesses skip the TLB/walk/cache models and only
         #: exercise the page-fault path. Used to fast-forward co-runner
         #: pre-churn, whose only observable effect is buddy-allocator
@@ -78,20 +104,19 @@ class WorkloadRun:
         self.ops_executed = 0
         self._regions: Dict[str, object] = {}
         self._iterator = workload.ops()
-        self._finished = False
-        self._stopped = False
+        #: Plain attribute rather than a property: the scheduler and the
+        #: turn loops read it several times per turn, and a slice is only
+        #: a couple of ops. Flipped by step() on stream exhaustion and by
+        #: stop().
+        self.finished = False
 
     # ------------------------------------------------------------------ #
     # Scheduling interface
     # ------------------------------------------------------------------ #
 
-    @property
-    def finished(self) -> bool:
-        return self._finished or self._stopped
-
     def stop(self) -> None:
         """Stop executing this run (the experiment killed the co-runner)."""
-        self._stopped = True
+        self.finished = True
 
     def step(self, max_ops: int) -> int:
         """Execute up to ``max_ops`` operations; returns how many ran.
@@ -100,17 +125,152 @@ class WorkloadRun:
         transitions are precise -- experiment harnesses change measurement
         and fidelity settings exactly at those points.
         """
+        if self.finished:
+            return 0
         executed = 0
-        while executed < max_ops and not self.finished:
+        iterator = self._iterator
+        xc = self._xlate
+        if xc is None or PROFILER.enabled or self.fast_forward:
+            # Interpreted path, kept as the seed wrote it: under
+            # REPRO_NO_FASTPATH this loop (with _execute's isinstance
+            # dispatch) IS the reference engine the fast path is
+            # differentially validated against. Profiled runs take it so
+            # attribution sees the full chain; fast-forwarded pre-churn
+            # takes it because _access short-circuits there anyway.
+            while executed < max_ops and not self.finished:
+                try:
+                    op = next(iterator)
+                except StopIteration:
+                    self.finished = True
+                    break
+                self._execute(op)
+                executed += 1
+                if isinstance(op, PhaseOp):
+                    break
+            self.ops_executed += executed
+            return executed
+        access = self._access
+        # Translation fast path (see repro.sim.fastpath): everything
+        # invariant across a slice is bound to locals up front, and the
+        # common TLB-hit/L1-hit access runs entirely inside this frame.
+        # Its state transitions are the byte-identical subset of the
+        # interpreted chain: L1 TLB LRU refresh + hit count, data-L1 LRU
+        # refresh + hit count, the unchanged latency charge, and the same
+        # counter bumps. Anything else -- unmapped region, mirror miss,
+        # write to a non-writable mapping, data-L1 miss -- falls through
+        # to the interpreted path, having spent only dict probes.
+        #
+        # Two batching tricks, both invisible outside the slice:
+        # - The region lookup is memoised on the region-name object (op
+        #   streams intern their region literals); any non-access op
+        #   drops the memo, since mmap/brk/free may replace or grow the
+        #   VMA.
+        # - Counter bumps for full fast hits are accumulated in a local
+        #   and flushed at slice exit. Every deferred quantity is a pure
+        #   increment no model code reads mid-slice (hit_rate and friends
+        #   are snapshot-time properties), every hit charges the same
+        #   constant cycles, and a PhaseOp ends the slice before harness
+        #   code can observe state -- so the flushed totals are
+        #   indistinguishable from per-op bumps.
+        # The hoists are safe because measurement state, fast_forward,
+        # and PROFILER can only change between turns.
+        regions_get = self._regions.get
+        tlb_l1 = self._tlb_l1
+        dl1 = self._dl1
+        dl1_sets = self._dl1_sets
+        dl1_nsets = self._dl1_nsets
+        hier = self._hier
+        base_cycles = self._base_cycles
+        l1_latency = hier._l1_latency
+        fast_cycles = base_cycles + l1_latency
+        measuring = self.measuring
+        mcounters = self.counters
+        tracer_active = TRACER.active
+        cached_region = None
+        cached_start = 0
+        cached_npages = 0
+        tlb_hits = 0  # fast ops whose translation hit the mirror
+        full_hits = 0  # fast ops that also hit the data L1
+        last_fast = False  # did the last access resolve fully fast?
+        while executed < max_ops:
             try:
-                op = next(self._iterator)
+                op = next(iterator)
             except StopIteration:
-                self._finished = True
+                self.finished = True
                 break
+            if op.__class__ is AccessOp:
+                executed += 1
+                region, page, block, write = op
+                if region is not cached_region:
+                    vma = regions_get(region)
+                    if vma is None:
+                        access(op)  # raises the unmapped-region error
+                        continue
+                    cached_region = region
+                    cached_start = vma.start_vpn
+                    cached_npages = vma.npages
+                if 0 <= page < cached_npages:
+                    vpn = cached_start + page
+                    entry = xc.get(vpn)
+                    if entry is not None and (entry[2] or not write):
+                        hfn, ways, _writable = entry
+                        del ways[vpn]
+                        ways[vpn] = hfn  # refresh L1 TLB LRU position
+                        tlb_hits += 1
+                        data_addr = (hfn << PAGE_SHIFT) | (
+                            (block & (BLOCKS_PER_PAGE - 1))
+                            << CACHE_BLOCK_SHIFT
+                        )
+                        cblock = data_addr >> CACHE_BLOCK_SHIFT
+                        cways = dl1_sets[cblock % dl1_nsets]
+                        if cblock in cways:
+                            del cways[cblock]
+                            cways[cblock] = None  # move to MRU position
+                            full_hits += 1
+                            last_fast = True
+                            if tracer_active:
+                                TRACER.advance(fast_cycles)
+                            continue
+                        # TLB fast hit but data-L1 miss: the layered walk
+                        # charges and attributes the deeper levels itself
+                        # (including last_outcome).
+                        last_fast = False
+                        cycles = base_cycles + hier.access_block(
+                            cblock, "data"
+                        )
+                        if tracer_active:
+                            TRACER.advance(cycles)
+                        if measuring:
+                            mcounters.accesses += 1
+                            mcounters.cycles += cycles
+                        continue
+                last_fast = False
+                access(op)
+                continue
             self._execute(op)
             executed += 1
+            cached_region = None
+            last_fast = False
             if isinstance(op, PhaseOp):
                 break
+        # Slice-exit flush of the deferred fast-hit increments.
+        if tlb_hits:
+            tlb_l1.hits += tlb_hits
+        if full_hits:
+            dl1.hits += full_hits
+            if last_fast:
+                hier.last_outcome = _OUTCOME_L1
+            dcounters = hier._data_counters
+            if dcounters is None:
+                # Resolved lazily so a slice with no data access creates
+                # no stream entry, exactly like the interpreted path.
+                dcounters = hier._data_counters = hier.counters("data")
+            dcounters.accesses += full_hits
+            dcounters.cycles += full_hits * l1_latency
+            dcounters.served_by[_OUTCOME_L1] += full_hits
+            if measuring:
+                mcounters.accesses += full_hits
+                mcounters.cycles += full_hits * fast_cycles
         self.ops_executed += executed
         return executed
 
@@ -180,15 +340,20 @@ class WorkloadRun:
         return vma.start_vpn + op.page
 
     def _access(self, op: AccessOp) -> None:
-        vpn = self._vpn_for(op)
         if self.fast_forward:
+            vpn = self._vpn_for(op)
             if not self.process.page_table.is_mapped(vpn):
                 outcome = self.kernel.handle_fault(self.process, vpn, op.write)
                 # Keep the host dimension consistent: the first real access
                 # would have EPT-faulted the frame in; do it eagerly here.
                 self.walker.host.ensure_backed(self.walker.vm, outcome.frame)
             return
-        cycles = self.core.config.base_cycles_per_access
+        # Interpreted path. The TLB-hit fast path lives in step(); this
+        # method serves mirror misses, profiled runs, and
+        # REPRO_NO_FASTPATH reference runs, and its state transitions are
+        # the contract the fast path replays.
+        vpn = self._vpn_for(op)
+        cycles = self._base_cycles
         hfn = self.core.tlb.lookup(vpn)
         if hfn is None:
             if self.measuring:
@@ -198,7 +363,7 @@ class WorkloadRun:
         data_addr = (hfn << PAGE_SHIFT) | (
             (op.block & (BLOCKS_PER_PAGE - 1)) << CACHE_BLOCK_SHIFT
         )
-        data_latency = self.core.hierarchy.access(data_addr, "data")
+        data_latency = self._data_access(data_addr)
         cycles += data_latency
         if PROFILER.enabled:
             PROFILER.add(
@@ -334,13 +499,16 @@ class Simulation:
         series match the legacy per-experiment sampling loops exactly).
         """
         executed = self.scheduler.turn()
-        self.kernel.run_reclaim()
+        kernel = self.kernel
+        if kernel.reclaimer is not None:
+            kernel.run_reclaim()
         self.turns += 1
         TRACER.turn = self.turns
         if _tp_sched_turn.enabled:
             _tp_sched_turn.emit(turn=self.turns, ops=executed)
-        for sampler in self._samplers:
-            sampler.on_turn()
+        if self._samplers:
+            for sampler in self._samplers:
+                sampler.on_turn()
         return executed
 
     def run_until_phase(

@@ -1,0 +1,96 @@
+"""The hot-path software translation cache behind the engine fast path.
+
+Every :class:`~repro.workloads.base.AccessOp` of every experiment funnels
+through the same interpreted chain -- region lookup, two-level TLB probe,
+(on a miss) the nested 2D walk, then the data access through the cache
+hierarchy. For the common case -- a TLB hit followed by an L1 data hit --
+that chain is almost entirely Python call overhead: the *modelled* state
+change is one LRU refresh and a handful of counter increments.
+
+:class:`TranslationCache` collapses that case to a single dict probe. It
+is a per-core dict keyed by guest virtual page number (one core runs one
+pinned process, so the ``(pid, vpn)`` key of the design collapses to
+``vpn`` per core) holding the fully-resolved ``(hfn, l1_ways, writable)``
+of translations currently resident in the L1 TLB:
+
+``hfn``
+    The final host physical frame the hardware TLB caches (the complete
+    nested translation, as in §2.5).
+``l1_ways``
+    The exact L1 TLB set dict holding ``vpn``, so the fast path can
+    replay the LRU refresh the modelled TLB would perform -- without
+    recomputing the set index or re-entering :mod:`repro.tlb.tlb`.
+``writable``
+    The cached permission: hardware TLBs cache the final translation
+    *after* permission checks, so entries installed from a completed
+    walk or TLB hit are fully writable. Write accesses fall back to the
+    slow path whenever this bit is clear, so a future read-only install
+    can never skip a COW break.
+
+Correctness contract (what keeps counters byte-identical)
+---------------------------------------------------------
+The cache is a strict mirror of the modelled L1 TLB: an entry exists for
+``vpn`` if and only if ``vpn`` is resident in the L1 TLB with the same
+frame. :class:`~repro.tlb.tlb.TlbHierarchy` maintains the mirror at every
+L1 mutation site -- insert, hit-promotion from L2, eviction of the LRU
+victim, single-page invalidate (TLB shootdown, which is how PTE mutations
+in :mod:`repro.pagetable.radix`, COW breaks, swap/reclaim and the
+sanitizer-visible unmap paths reach the machine model), and full flush.
+Because entries are only ever *copies* of live L1 state, a fast-path hit
+performs exactly the state transitions the interpreted path would: L1
+LRU refresh, ``l1.hits`` increment, and the unchanged cache-model charge
+for the data access. Nothing else in the model can observe the
+difference, which is what the byte-identical snapshot gate in
+``benchmarks/test_speedup.py`` pins.
+
+Set ``REPRO_NO_FASTPATH=1`` to disable the fast path (the engine then
+takes the fully-interpreted chain for every access); the translation
+cache is not built at all in that mode, so the TLB carries zero
+maintenance overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+#: Environment variable disabling the engine fast path when set to a
+#: non-empty value ("0" counts as set: any value disables).
+NO_FASTPATH_ENV = "REPRO_NO_FASTPATH"
+
+#: A translation-cache entry: (host frame, L1 TLB set dict, writable).
+Entry = Tuple[int, Dict[int, int], bool]
+
+
+def fastpath_enabled() -> bool:
+    """True unless ``REPRO_NO_FASTPATH`` is set in the environment.
+
+    Read at :class:`~repro.sim.machine.CoreContext` construction (not
+    import) so tests and the speedup bench can flip modes per
+    simulation.
+    """
+    return not os.environ.get(NO_FASTPATH_ENV)
+
+
+class TranslationCache(dict):
+    """Per-core ``vpn -> (hfn, l1_ways, writable)`` mirror of the L1 TLB.
+
+    A plain ``dict`` subclass so the hot probe is a C-level ``get``; the
+    named methods below are the *invalidation hooks* every PTE/TLB
+    mutation site must reach (the ``fastpath-invalidation`` lint rule
+    enforces this statically for kernel code).
+    """
+
+    __slots__ = ()
+
+    def install(self, vpn: int, hfn: int, ways: Dict[int, int], writable: bool = True) -> None:
+        """Mirror ``vpn``'s L1 residency; called on L1 insert/promotion."""
+        self[vpn] = (hfn, ways, writable)
+
+    def invalidate(self, vpn: int) -> None:
+        """Drop one page (L1 eviction, TLB shootdown, PTE mutation)."""
+        self.pop(vpn, None)
+
+    def flush(self) -> None:
+        """Drop everything (full TLB flush / context switch)."""
+        self.clear()

@@ -17,9 +17,7 @@ class Schedulable(Protocol):
     """What the scheduler needs from a run."""
 
     weight: int
-
-    @property
-    def finished(self) -> bool: ...
+    finished: bool
 
     def step(self, max_ops: int) -> int: ...
 
@@ -50,12 +48,27 @@ class RoundRobinScheduler:
         return [run for run in self._runs if not run.finished]
 
     def turn(self) -> int:
-        """Give every live run one time slice; returns ops executed."""
+        """Give every live run one time slice; returns ops executed.
+
+        Runs found finished are dropped from the rotation: a finished run
+        never executes again, so pruning is invisible to scheduling order
+        while later turns skip the dead entries (a long tail of turns may
+        drive a single live benchmark).
+        """
         executed = 0
+        finished_runs = None
+        ops_per_slice = self.ops_per_slice
         for run in self._runs:
             if run.finished:
+                if finished_runs is None:
+                    finished_runs = [run]
+                else:
+                    finished_runs.append(run)
                 continue
-            executed += run.step(self.ops_per_slice * run.weight)
+            executed += run.step(ops_per_slice * run.weight)
+        if finished_runs is not None:
+            for run in finished_runs:
+                self._runs.remove(run)
         return executed
 
     def turns(self) -> Iterator[int]:

@@ -4,6 +4,13 @@ TLB entries map a virtual page number directly to the final physical frame
 (for a virtualized process: guest VPN -> *host* frame, since hardware TLBs
 cache the complete nested translation). A TLB hit therefore bypasses the
 entire 2D page walk; only misses reach the walker, as in §2.5.
+
+The L1 level optionally mirrors its content into a per-core
+:class:`~repro.sim.fastpath.TranslationCache` (the engine's hot-path
+translation cache). Every L1 mutation site in this module -- insert,
+promotion from L2, LRU eviction, invalidate, flush -- keeps the mirror
+exact, which is the invariant the fast path's byte-identical-counters
+guarantee rests on.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ class Tlb:
 
     def lookup(self, vpn: int) -> Optional[int]:
         """Return the cached frame for ``vpn`` or ``None`` on miss."""
-        entries = self._set_for(vpn)
+        entries = self._sets[vpn % self.num_sets]
         frame = entries.get(vpn)
         if frame is None:
             self.misses += 1
@@ -47,7 +54,7 @@ class Tlb:
 
     def insert(self, vpn: int, frame: int) -> Optional[Tuple[int, int]]:
         """Install ``vpn -> frame``; returns the evicted entry if any."""
-        entries = self._set_for(vpn)
+        entries = self._sets[vpn % self.num_sets]
         victim = None
         if vpn in entries:
             del entries[vpn]
@@ -59,7 +66,7 @@ class Tlb:
 
     def invalidate(self, vpn: int) -> bool:
         """Drop the entry for ``vpn`` if present."""
-        return self._set_for(vpn).pop(vpn, None) is not None
+        return self._sets[vpn % self.num_sets].pop(vpn, None) is not None
 
     def flush(self) -> None:
         """Drop all entries (context switch / full shootdown)."""
@@ -80,11 +87,39 @@ class TlbHierarchy:
 
     ``lookup`` probes L1 then L2 (promoting L2 hits into L1); ``insert``
     installs into both, matching the usual inclusive-ish x86 arrangement.
+
+    Parameters
+    ----------
+    dtlb / stlb:
+        Geometry of the two levels.
+    xlate:
+        Optional :class:`~repro.sim.fastpath.TranslationCache` to keep in
+        lockstep with L1 content. ``None`` (the default, and the
+        ``REPRO_NO_FASTPATH=1`` mode) skips all mirror maintenance.
     """
 
-    def __init__(self, dtlb: TlbConfig, stlb: TlbConfig) -> None:
+    def __init__(
+        self,
+        dtlb: TlbConfig,
+        stlb: TlbConfig,
+        xlate=None,
+    ) -> None:
         self.l1 = Tlb(dtlb)
         self.l2 = Tlb(stlb)
+        #: The engine's hot-path translation cache mirroring L1 content
+        #: (``None`` when the fast path is disabled).
+        self.xlate = xlate
+
+    def _mirror_l1(self, vpn: int, frame: int, victim) -> None:
+        """Reflect an L1 install (and its eviction) into the mirror."""
+        xc = self.xlate
+        if xc is None:
+            return
+        if victim is not None:
+            xc.invalidate(victim[0])
+        xc.install(
+            vpn, frame, self.l1._sets[vpn % self.l1.num_sets], True
+        )
 
     def lookup(self, vpn: int) -> Optional[int]:
         """Return the frame for ``vpn`` or ``None`` if both levels miss."""
@@ -93,25 +128,31 @@ class TlbHierarchy:
             return frame
         frame = self.l2.lookup(vpn)
         if frame is not None:
-            self.l1.insert(vpn, frame)
+            victim = self.l1.insert(vpn, frame)
+            self._mirror_l1(vpn, frame, victim)
         elif _tp_miss.enabled:
             _tp_miss.emit(vpn=vpn)
         return frame
 
     def insert(self, vpn: int, frame: int) -> None:
         """Install a completed translation into both levels."""
-        self.l1.insert(vpn, frame)
+        victim = self.l1.insert(vpn, frame)
         self.l2.insert(vpn, frame)
+        self._mirror_l1(vpn, frame, victim)
 
     def invalidate(self, vpn: int) -> None:
         """Shoot down one page's translation from both levels."""
         self.l1.invalidate(vpn)
         self.l2.invalidate(vpn)
+        if self.xlate is not None:
+            self.xlate.invalidate(vpn)
 
     def flush(self) -> None:
         """Drop everything from both levels."""
         self.l1.flush()
         self.l2.flush()
+        if self.xlate is not None:
+            self.xlate.flush()
 
     @property
     def misses(self) -> int:

@@ -18,8 +18,7 @@ import abc
 import enum
 import random
 import zlib
-from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import Iterator, NamedTuple, Union
 
 
 class WorkloadPhase(enum.Enum):
@@ -34,16 +33,21 @@ class WorkloadPhase(enum.Enum):
     DONE = "done"
 
 
-@dataclass(frozen=True)
-class MmapOp:
+# Ops are NamedTuples rather than frozen dataclasses: workloads construct
+# one object per simulated memory operation, and tuple construction is a
+# single C-level call where a frozen dataclass pays one object.__setattr__
+# per field. The public shape (field names, defaults, immutability,
+# equality) is unchanged.
+
+
+class MmapOp(NamedTuple):
     """Allocate ``npages`` of contiguous virtual memory as region ``region``."""
 
     region: str
     npages: int
 
 
-@dataclass(frozen=True)
-class AccessOp:
+class AccessOp(NamedTuple):
     """Access one page of a region.
 
     Attributes
@@ -65,8 +69,7 @@ class AccessOp:
     write: bool = False
 
 
-@dataclass(frozen=True)
-class BrkOp:
+class BrkOp(NamedTuple):
     """Grow the heap by ``grow_pages`` pages; the new range becomes
     region ``region`` (heap growth is eager-virtual, like mmap)."""
 
@@ -74,8 +77,7 @@ class BrkOp:
     grow_pages: int
 
 
-@dataclass(frozen=True)
-class FreeOp:
+class FreeOp(NamedTuple):
     """Unmap ``npages`` of a region starting at ``start_page``.
 
     ``npages == 0`` means the whole region.
@@ -86,8 +88,7 @@ class FreeOp:
     npages: int = 0
 
 
-@dataclass(frozen=True)
-class PhaseOp:
+class PhaseOp(NamedTuple):
     """Phase boundary marker."""
 
     phase: WorkloadPhase

@@ -132,13 +132,68 @@ class LowPressureSpec(SpecWorkload):
 
     Small footprint (fits comfortably in TLB reach) and strong locality:
     the control group for the paper's "PTEMagnet never hurts" claim.
+
+    ``footprint`` and ``hot_blocks`` tune how hard the working set presses
+    on the TLB and the data caches; the defaults reproduce the figure6
+    streams byte-for-byte. ``hot_blocks < 64`` confines accesses to that
+    many blocks per page, the TLB-hit/L1-hit regime the perf-smoke
+    speedup bench measures.
     """
 
-    def __init__(self, name: str = "leela", seed: int = 0, accesses: int = 16000) -> None:
-        super().__init__(name, footprint=220, seed=seed)
+    def __init__(
+        self,
+        name: str = "leela",
+        seed: int = 0,
+        accesses: int = 16000,
+        footprint: int = 220,
+        hot_blocks: int = 64,
+    ) -> None:
+        super().__init__(name, footprint=footprint, seed=seed)
         self.accesses = accesses
+        if not 1 <= hot_blocks <= 64 or hot_blocks & (hot_blocks - 1):
+            raise ValueError("hot_blocks must be a power of two in [1, 64]")
+        self.hot_blocks = hot_blocks
 
     def compute_ops(self) -> Iterator[MemoryOp]:
         rng = self.rng()
-        for page in zipf_page_sequence(rng, self._footprint, self.accesses, alpha=1.3):
-            yield AccessOp("data", page, rng.randrange(64))
+        pages = zipf_page_sequence(
+            rng, self._footprint, self.accesses, alpha=1.3
+        )
+        getrandbits = rng.getrandbits
+        if self.hot_blocks == 64:
+            # Draw the block index with getrandbits rejection sampling --
+            # the same draws randrange(64) makes (7 bits, retry on >= 64),
+            # minus two call layers per op. The stream is part of the
+            # workload's determinism contract, so the expansion is spelled
+            # out here.
+            for page in pages:
+                block = getrandbits(7)
+                while block >= 64:
+                    block = getrandbits(7)
+                yield AccessOp("data", page, block)
+            return
+        # Each page gets hot_blocks candidate blocks strided across the
+        # page and rotated by the page index -- without the rotation every
+        # page's hot blocks would land in the same few cache sets (there
+        # are exactly as many blocks per page as L1 sets), turning a
+        # small working set into pure conflict misses. The candidate ops
+        # are immutable tuples, so they are materialised once per
+        # (page, draw) and the stream is served by table lookups.
+        bits = self.hot_blocks.bit_length() - 1
+        stride_shift = 6 - bits
+        if bits == 0:
+            table = [
+                AccessOp("data", page, page & 63)
+                for page in range(self._footprint)
+            ]
+            yield from map(table.__getitem__, pages)
+            return
+        table = [
+            [
+                AccessOp("data", page, (page + (draw << stride_shift)) & 63)
+                for draw in range(self.hot_blocks)
+            ]
+            for page in range(self._footprint)
+        ]
+        for page in pages:
+            yield table[page][getrandbits(bits)]

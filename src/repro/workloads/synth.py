@@ -124,12 +124,19 @@ def local_runs(
     if run_pages <= 0:
         raise ValueError("run_pages must be positive")
     count = 0
+    # getrandbits rejection sampling reproduces randrange(64)'s exact
+    # draw sequence (7 bits, retry on >= 64) without its two call layers;
+    # this generator runs once per simulated access for several models.
+    getrandbits = rng.getrandbits
     for base in bases:
         for delta in range(run_pages):
             page = min(base + delta, npages - 1)
             count += 1
             write = bool(write_every) and count % write_every == 0
-            yield AccessOp(region, page, rng.randrange(64), write)
+            block = getrandbits(7)
+            while block >= 64:
+                block = getrandbits(7)
+            yield AccessOp(region, page, block, write)
 
 
 def interleave(*streams: Sequence[Iterator[AccessOp]]) -> Iterator[AccessOp]:

@@ -70,6 +70,35 @@ class TestSetAssociativeCache:
         with pytest.raises(ValueError):
             SetAssociativeCache(CacheConfig("bad", 64 * 3, 2, 1))
 
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["fill", "access_fill", "invalidate", "flush"]),
+                st.integers(min_value=0, max_value=300),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_counter_survives_churn(self, ops):
+        # occupancy() is a maintained O(1) counter, not a recount; every
+        # mutation path (fill with/without eviction, combined
+        # access_fill, invalidate hit/miss, flush) must keep it equal to
+        # the ground truth sum over the sets.
+        cache = small_cache(size_kb=4, assoc=2)
+        for op, block in ops:
+            if op == "fill":
+                cache.fill(block)
+            elif op == "access_fill":
+                cache.access_fill(block)
+            elif op == "invalidate":
+                cache.invalidate(block)
+            else:
+                cache.flush()
+            assert cache.occupancy() == sum(
+                len(ways) for ways in cache._sets
+            )
+
     @given(st.lists(st.integers(min_value=0, max_value=500), max_size=200))
     @settings(max_examples=40, deadline=None)
     def test_contains_after_fill_sequence(self, blocks):

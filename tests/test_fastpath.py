@@ -1,0 +1,158 @@
+"""Tests for the engine translation fast path (repro.sim.fastpath).
+
+Two layers of defence:
+
+* unit tests pin the mirror invariant -- the :class:`TranslationCache`
+  holds ``vpn`` if and only if ``vpn`` is resident in the L1 TLB, with
+  the same frame and the *identical* set dict (the fast path replays the
+  LRU refresh through it);
+* an end-to-end test runs the same colocated scenario with the fast
+  path on and off (``REPRO_NO_FASTPATH=1``) and requires byte-identical
+  metrics snapshots. The perf-smoke bench in ``benchmarks/test_speedup.py``
+  repeats this gate on the figure6-shaped regime while also asserting
+  the speedup itself.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GuestConfig, HostConfig, PlatformConfig, TlbConfig
+from repro.metrics.collect import snapshot_simulation
+from repro.sim.fastpath import NO_FASTPATH_ENV, TranslationCache
+from repro.tlb.tlb import TlbHierarchy
+from repro.units import MB
+from repro.workloads import StressNg
+from repro.workloads.spec import LowPressureSpec
+
+
+def small_hierarchy():
+    """4-entry/2-way L1 over an 8-entry L2: evicts after a handful."""
+    return TlbHierarchy(
+        TlbConfig("L1D", 4, 2),
+        TlbConfig("L2", 8, 4),
+        xlate=TranslationCache(),
+    )
+
+
+def assert_mirror_invariant(tlb: TlbHierarchy) -> None:
+    """The mirror == L1 content, frame-for-frame, same set dicts."""
+    resident = {}
+    for ways in tlb.l1._sets:
+        resident.update(ways)
+    assert set(tlb.xlate) == set(resident)
+    for vpn, (hfn, ways, writable) in tlb.xlate.items():
+        assert hfn == resident[vpn]
+        assert ways is tlb.l1._sets[vpn % tlb.l1.num_sets]
+        assert writable is True
+
+
+class TestTranslationCacheMirror:
+    def test_insert_mirrors_into_l1_set(self):
+        tlb = small_hierarchy()
+        tlb.insert(7, 42)
+        hfn, ways, writable = tlb.xlate[7]
+        assert hfn == 42 and writable
+        assert ways is tlb.l1._sets[7 % tlb.l1.num_sets]
+        assert_mirror_invariant(tlb)
+
+    def test_l1_eviction_invalidates_victim(self):
+        tlb = small_hierarchy()
+        sets = tlb.l1.num_sets
+        a, b, c = 0, sets, 2 * sets  # all in L1 set 0 (2-way)
+        tlb.insert(a, 1)
+        tlb.insert(b, 2)
+        tlb.insert(c, 3)  # evicts a from L1
+        assert a not in tlb.xlate
+        assert set(tlb.xlate) >= {b, c}
+        assert_mirror_invariant(tlb)
+
+    def test_l2_promotion_reinstalls_mirror(self):
+        tlb = small_hierarchy()
+        sets = tlb.l1.num_sets
+        a, b, c = 0, sets, 2 * sets
+        tlb.insert(a, 1)
+        tlb.insert(b, 2)
+        tlb.insert(c, 3)  # a now lives only in L2
+        assert a not in tlb.xlate
+        assert tlb.lookup(a) == 1  # L2 hit promotes back into L1
+        assert tlb.xlate[a][0] == 1
+        assert_mirror_invariant(tlb)
+
+    def test_invalidate_and_flush_reach_mirror(self):
+        tlb = small_hierarchy()
+        tlb.insert(5, 50)
+        tlb.insert(6, 60)
+        tlb.invalidate(5)  # shootdown: PTE mutation / COW / reclaim path
+        assert 5 not in tlb.xlate
+        assert_mirror_invariant(tlb)
+        tlb.flush()
+        assert not tlb.xlate
+        assert_mirror_invariant(tlb)
+
+    def test_no_mirror_when_disabled(self):
+        tlb = TlbHierarchy(TlbConfig("L1D", 4, 2), TlbConfig("L2", 8, 4))
+        tlb.insert(7, 42)
+        tlb.invalidate(7)
+        tlb.flush()
+        assert tlb.xlate is None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "lookup", "invalidate", "flush"]),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mirror_invariant_under_churn(self, ops):
+        tlb = small_hierarchy()
+        frame = 100
+        for op, vpn in ops:
+            if op == "insert":
+                frame += 1
+                tlb.insert(vpn, frame)
+            elif op == "lookup":
+                tlb.lookup(vpn)
+            elif op == "invalidate":
+                tlb.invalidate(vpn)
+            else:
+                tlb.flush()
+            assert_mirror_invariant(tlb)
+
+
+def _run_scenario():
+    """A small colocated run covering walks, evictions and churn."""
+    from repro.sim.engine import Simulation
+
+    sim = Simulation(
+        PlatformConfig(
+            host=HostConfig(memory_bytes=64 * MB),
+            guest=GuestConfig(memory_bytes=32 * MB),
+        )
+    )
+    churn = sim.add_workload(StressNg(seed=1))
+    # Footprint larger than the 32-entry L1 DTLB: exercises evictions,
+    # L2 promotions and full walks alongside fast-path hits.
+    bench = sim.add_workload(
+        LowPressureSpec("leela", 0, accesses=4000, footprint=64)
+    )
+    bench.start_measurement()
+    sim.run_until_finished(bench)
+    sim.stop(churn)
+    result = sim.result_for(bench)
+    return snapshot_simulation("bench", sim, result).to_dict()
+
+
+class TestEndToEndIdentity:
+    def test_fastpath_snapshot_identical_to_reference(self, monkeypatch):
+        monkeypatch.delenv(NO_FASTPATH_ENV, raising=False)
+        fast = _run_scenario()
+        monkeypatch.setenv(NO_FASTPATH_ENV, "1")
+        reference = _run_scenario()
+        assert json.dumps(fast, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )

@@ -60,6 +60,7 @@ def test_registry_has_expected_rules():
         "tracepoint-naming",
         "metrics-naming",
         "address-flow",
+        "fastpath-invalidation",
     } <= names
     assert set(RULES) == names
 
@@ -601,4 +602,57 @@ def test_metrics_naming_allows_dotted_extra_keys_and_test_code():
     src = "counters.extra['perf.retries'] = 1\n"
     assert rules_hit(src) == []
     src = "counters.extra['retries'] = 1\n"
+    assert rules_hit(src, path="tests/test_x.py") == []
+
+
+# ---------------------------------------------------------------------- #
+# correctness: fastpath-invalidation
+# ---------------------------------------------------------------------- #
+
+def test_fastpath_invalidation_flags_unpaired_mutation():
+    src = (
+        "def do_free(process, vpn):\n"
+        "    frame = process.page_table.unmap(vpn)\n"
+        "    return frame\n"
+    )
+    assert rules_hit(src) == ["fastpath-invalidation"]
+
+
+def test_fastpath_invalidation_flags_update_and_unmap_huge():
+    src = (
+        "def cow_break(process, vpn, frame, flags):\n"
+        "    process.page_table.update(vpn, frame, flags)\n"
+        "def split(process, vpn):\n"
+        "    process.page_table.unmap_huge(vpn)\n"
+    )
+    assert rules_hit(src) == [
+        "fastpath-invalidation",
+        "fastpath-invalidation",
+    ]
+
+
+def test_fastpath_invalidation_quiet_when_shootdown_paired():
+    src = (
+        "def do_free(self, process, vpn):\n"
+        "    frame = process.page_table.unmap(vpn)\n"
+        "    self._notify_unmap(process.pid, vpn)\n"
+        "    return frame\n"
+    )
+    assert rules_hit(src) == []
+
+
+def test_fastpath_invalidation_ignores_fresh_installs_and_host_pt():
+    # map()/map_huge() install where nothing was mapped (no stale TLB
+    # entry possible); host_pt is the hypervisor's table, out of scope.
+    src = (
+        "def fault(process, vpn, frame):\n"
+        "    process.page_table.map(vpn, frame)\n"
+        "def unback(vm, gfn):\n"
+        "    vm.host_pt.unmap(gfn)\n"
+    )
+    assert rules_hit(src) == []
+
+
+def test_fastpath_invalidation_skips_test_code():
+    src = "def helper(process, vpn):\n    process.page_table.unmap(vpn)\n"
     assert rules_hit(src, path="tests/test_x.py") == []

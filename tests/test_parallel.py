@@ -1,0 +1,148 @@
+"""Tests for repro.parallel and the runner's --jobs/--seeds plumbing.
+
+The contract under test: ``--jobs N`` must be invisible in the output --
+every file a parallel run writes is byte-identical to the serial run,
+results always merge in submission order, and a worker that dies raises
+a clean :class:`~repro.parallel.ParallelExecutionError` instead of
+hanging the parent.
+"""
+
+import json
+import os
+import re
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.runner import main
+from repro.parallel import (
+    CellResult,
+    ExperimentCell,
+    ParallelExecutionError,
+    run_cells,
+)
+
+
+def _crash_worker(experiment, seed):
+    """A worker that dies without returning (picklable: module level)."""
+    os._exit(13)
+
+
+def _slow_first_worker(experiment, seed):
+    """Finishes out of submission order: cell with seed 0 is slowest."""
+    time.sleep(0.3 if seed == 0 else 0.0)
+    return f"text for seed {seed}", {"seed": seed}, {}, 0.0
+
+
+class TestRunCells:
+    def test_cell_label(self):
+        assert ExperimentCell("table1", 3).label == "table1[seed=3]"
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ReproError):
+            list(run_cells([], 0))
+
+    def test_serial_runs_in_process(self):
+        calls = []
+
+        def worker(experiment, seed):
+            calls.append((experiment, seed, os.getpid()))
+            return "text", {}, {}, 0.0
+
+        cells = [ExperimentCell("a", 0), ExperimentCell("b", 1)]
+        results = list(run_cells(cells, 1, worker=worker))
+        assert [r.cell for r in results] == cells
+        assert all(isinstance(r, CellResult) for r in results)
+        assert [pid for _, _, pid in calls] == [os.getpid()] * 2
+
+    def test_parallel_results_arrive_in_submission_order(self):
+        cells = [ExperimentCell("x", 0), ExperimentCell("x", 1)]
+        results = list(run_cells(cells, 2, worker=_slow_first_worker))
+        # Seed 1 completes first, but seed 0 must still be yielded first.
+        assert [r.cell.seed for r in results] == [0, 1]
+        assert [r.payload["seed"] for r in results] == [0, 1]
+
+    def test_worker_crash_raises_clean_error(self):
+        cells = [ExperimentCell("table1", 0), ExperimentCell("table1", 1)]
+        with pytest.raises(ParallelExecutionError, match=r"table1\[seed=0\]"):
+            list(run_cells(cells, 2, worker=_crash_worker))
+
+
+def _strip_elapsed(text):
+    """Normalize the wall-clock-dependent report lines."""
+    return re.sub(r": \d+\.\d+s\]", ": Xs]", text)
+
+
+class TestRunnerJobs:
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table2", "--jobs", "0"])
+
+    def test_jobs_rejects_process_global_observability(self, tmp_path):
+        for flag in (
+            ["--trace", str(tmp_path / "t.jsonl")],
+            ["--profile"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["--experiment", "table1", "--jobs", "2", *flag])
+
+    def test_seeds_validation(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table2", "--seeds", "0,zero"])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table2", "--seeds", ","])
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table2", "--seeds", "1,1"])
+
+    def test_single_seed_output_shape_unchanged(self, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        assert main(["--experiment", "table2", "--json", str(json_path)]) == 0
+        payloads = json.loads(json_path.read_text())
+        # No seed nesting when only one seed runs (the pre---seeds shape).
+        assert "Guest vCPUs" in payloads["table2"]
+        out = capsys.readouterr().out
+        assert "[table2: " in out
+        assert "seed=" not in out
+
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path, capsys):
+        outputs = {}
+        for jobs in ("1", "4"):
+            json_path = tmp_path / f"jobs{jobs}.json"
+            metrics_path = tmp_path / f"jobs{jobs}-metrics.json"
+            code = main(
+                [
+                    "--experiment",
+                    "table1",
+                    "--seeds",
+                    "0,1",
+                    "--jobs",
+                    jobs,
+                    "--json",
+                    str(json_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            assert code == 0
+            outputs[jobs] = (
+                json_path.read_bytes(),
+                metrics_path.read_bytes(),
+                _strip_elapsed(capsys.readouterr().out),
+            )
+        # Byte-identical files (including metric ordering inside the
+        # snapshot document) and an identical printed report.
+        assert outputs["1"][0] == outputs["4"][0]
+        assert outputs["1"][1] == outputs["4"][1]
+        assert outputs["1"][2].replace("jobs1", "jobs4") == outputs["4"][2]
+
+        metrics = json.loads(outputs["1"][1])
+        labels = list(metrics["snapshots"])
+        assert labels == [
+            "colocated.seed0",
+            "colocated.seed1",
+            "standalone.seed0",
+            "standalone.seed1",
+        ]
+        payloads = json.loads(outputs["1"][0])
+        assert set(payloads["table1"]) == {"seed0", "seed1"}

@@ -44,6 +44,7 @@ class TestRunnerCli:
             "figure7",
             "sec62",
             "sec64",
+            "sensitivity",
         }
 
     def test_table2_runs_and_writes_json(self, tmp_path, capsys):
