@@ -129,7 +129,10 @@ class PTEMagnetAllocator:
             frame = entry.map_slot(slot)
             self.buddy.memory.set_state(frame, FrameState.USER, owner)
             if entry.full:
-                used_part.remove(group)
+                # Completed reservation: every slot is mapped, so no
+                # unreserved frames remain for the sanitizer to retire
+                # (on_unreserve covers *unmapped* leftovers only).
+                used_part.remove(group)  # simlint: disable=mirror-coherence (reservation fully mapped; nothing left to unreserve)
                 self.stats.reservations_completed += 1
                 if _tp_complete.enabled:
                     _tp_complete.emit(pid=owner, group=group)

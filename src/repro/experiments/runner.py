@@ -455,7 +455,7 @@ def main(argv=None) -> int:
             else:
                 print(f"[{name}: {result.elapsed_seconds:.1f}s]\n")
                 payloads[name] = result.payload
-            for label, doc in result.snapshot_docs.items():
+            for label, doc in sorted(result.snapshot_docs.items()):
                 snapshot = MetricsSnapshot.from_dict(doc)
                 if multi_seed:
                     snapshot.label = f"{label}.seed{seed}"

@@ -19,23 +19,28 @@ and the suppression pragma (``# simlint: disable=RULE``).
 
 from .core import (
     JSON_SCHEMA_VERSION,
+    RULE_ALIASES,
     RULES,
     UNITS_SCOPED_DIRS,
     Finding,
     LintContext,
+    ProgramRule,
     Rule,
+    canonical_rule_name,
     collect_files,
     iter_rules,
     lint_file,
     lint_paths,
     lint_source,
     register,
+    register_alias,
 )
 from .flow import Space, compatible, space_of_name
 from . import rules  # noqa: F401  (imported for rule registration)
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
+    "RULE_ALIASES",
     "RULES",
     "Space",
     "compatible",
@@ -43,11 +48,14 @@ __all__ = [
     "UNITS_SCOPED_DIRS",
     "Finding",
     "LintContext",
+    "ProgramRule",
     "Rule",
+    "canonical_rule_name",
     "collect_files",
     "iter_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
     "register",
+    "register_alias",
 ]

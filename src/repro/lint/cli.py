@@ -11,7 +11,12 @@ import sys
 from collections import Counter
 from typing import List, Optional
 
-from .core import JSON_SCHEMA_VERSION, iter_rules, lint_paths
+from .core import (
+    JSON_SCHEMA_VERSION,
+    RULE_ALIASES,
+    iter_rules,
+    lint_paths,
+)
 
 
 def _render_text(findings) -> str:
@@ -90,6 +95,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated rule names to skip for this run",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-file phase out over N processes (the "
+        "whole-program pass stays single-process; output is "
+        "byte-identical at any job count)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
@@ -103,14 +117,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.paths:
         parser.error("no paths given (try: python -m repro.lint src/)")
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     disabled = {name.strip() for name in args.disable.split(",") if name.strip()}
-    known = {rule.name for rule in iter_rules()}
+    known = {rule.name for rule in iter_rules()} | set(RULE_ALIASES)
     unknown = disabled - known
     if unknown:
         parser.error(f"unknown rule(s) in --disable: {', '.join(sorted(unknown))}")
 
     try:
-        findings = lint_paths(args.paths, disabled=disabled)
+        findings = lint_paths(args.paths, disabled=disabled, jobs=args.jobs)
     except OSError as exc:
         parser.error(f"cannot lint {exc.filename or '?'}: {exc.strerror or exc}")
     if args.format == "json":

@@ -1,0 +1,288 @@
+"""The whole-program view: symbol resolution and the call graph.
+
+A :class:`Program` joins the :class:`~repro.lint.ipa.facts.ModuleFacts`
+of every linted file and resolves each recorded call site to zero or
+more *function ids* (``"module::Class.method"``). Resolution handles:
+
+* bare names against module scope and import bindings,
+* ``self.m(...)`` against the enclosing class and its bases (depth-first
+  through the recorded base names),
+* ``obj.m(...)`` via receiver-type inference -- parameter annotations
+  and ``self.attr`` types recorded in the class facts,
+* ``TABLE[key](...)`` against module-level dict registries whose values
+  are function references (the experiment-runner dispatch idiom),
+* everything else falls back to *unknown* (no edges): dynamic dispatch
+  the facts cannot prove is never guessed at.
+
+Unknown calls are deliberately droppable because every whole-program
+rule treats absence of edges conservatively in the direction that
+matters for it (e.g. mirror-coherence findings anchor at the site where
+the mirrored object is concretely named, not behind the unresolved hop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .facts import CallFact, ClassFacts, FunctionFacts, ModuleFacts
+
+#: A function id: ``"<module>::<local qualname>"``.
+FunctionId = str
+
+
+def function_id(module: str, qualname: str) -> FunctionId:
+    return f"{module}::{qualname}"
+
+
+class Program:
+    """All module facts plus the resolved call graph over them."""
+
+    def __init__(self, modules: Iterable[ModuleFacts]) -> None:
+        #: Path-ordered module facts (the lint file ordering).
+        self.modules: List[ModuleFacts] = list(modules)
+        self.by_module: Dict[str, ModuleFacts] = {}
+        #: fid -> (module facts, function facts).
+        self.functions: Dict[FunctionId, Tuple[ModuleFacts, FunctionFacts]] = {}
+        #: (module, class name) -> class facts.
+        self._classes: Dict[Tuple[str, str], ClassFacts] = {}
+        #: Unqualified class name -> [(module, class facts)] for
+        #: last-resort unique-name lookup.
+        self._classes_by_name: Dict[str, List[Tuple[str, ClassFacts]]] = {}
+        for mf in self.modules:
+            # Later files win on module-name collisions (stand-alone
+            # snippet stems); real package paths are unique.
+            self.by_module[mf.module] = mf
+        for mf in self.modules:
+            for ff in mf.functions:
+                self.functions[function_id(mf.module, ff.qualname)] = (mf, ff)
+            for cf in mf.classes:
+                self._classes[(mf.module, cf.name)] = cf
+                self._classes_by_name.setdefault(cf.name, []).append(
+                    (mf.module, cf)
+                )
+        self._edges: Optional[Dict[FunctionId, Tuple[Tuple[int, Tuple[FunctionId, ...]], ...]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Iteration helpers
+    # ------------------------------------------------------------------ #
+
+    def iter_functions(
+        self, include_tests: bool = False
+    ) -> Iterator[Tuple[FunctionId, ModuleFacts, FunctionFacts]]:
+        for mf in self.modules:
+            if mf.is_test and not include_tests:
+                continue
+            for ff in mf.functions:
+                yield function_id(mf.module, ff.qualname), mf, ff
+
+    def facts_for(self, fid: FunctionId) -> Tuple[ModuleFacts, FunctionFacts]:
+        return self.functions[fid]
+
+    # ------------------------------------------------------------------ #
+    # Call graph
+    # ------------------------------------------------------------------ #
+
+    @property
+    def edges(self) -> Dict[FunctionId, Tuple[Tuple[int, Tuple[FunctionId, ...]], ...]]:
+        """fid -> ((call index, resolved target fids), ...), resolved once."""
+        if self._edges is None:
+            edges: Dict[FunctionId, Tuple[Tuple[int, Tuple[FunctionId, ...]], ...]] = {}
+            for mf in self.modules:
+                for ff in mf.functions:
+                    fid = function_id(mf.module, ff.qualname)
+                    resolved: List[Tuple[int, Tuple[FunctionId, ...]]] = []
+                    for index, call in enumerate(ff.calls):
+                        targets = self.resolve_call(mf, ff, call)
+                        if targets:
+                            resolved.append((index, targets))
+                    edges[fid] = tuple(resolved)
+            self._edges = edges
+        return self._edges
+
+    def resolve_call(
+        self, mf: ModuleFacts, ff: FunctionFacts, call: CallFact
+    ) -> Tuple[FunctionId, ...]:
+        """Resolve one call site to target function ids (empty = unknown)."""
+        if call.kind == "name":
+            target = self._resolve_name(mf, ff, call.name)
+            return (target,) if target else ()
+        if call.kind == "self":
+            target = self._resolve_method_in_hierarchy(
+                mf.module, ff.cls, call.name
+            )
+            return (target,) if target else ()
+        if call.kind == "attr":
+            target = self._resolve_attr_call(mf, ff, call)
+            return (target,) if target else ()
+        if call.kind == "registry":
+            return self._resolve_registry(mf, call.root)
+        return ()
+
+    # -- bare names ----------------------------------------------------- #
+
+    def _resolve_name(
+        self, mf: ModuleFacts, ff: FunctionFacts, name: str
+    ) -> Optional[FunctionId]:
+        # Sibling nested functions of the caller (closures) first.
+        if ff.parent or True:
+            prefix = f"{ff.qualname}.<locals>.{name}"
+            fid = function_id(mf.module, prefix)
+            if fid in self.functions:
+                return fid
+        if ff.parent:
+            sibling = f"{ff.parent}.<locals>.{name}"
+            fid = function_id(mf.module, sibling)
+            if fid in self.functions:
+                return fid
+        # Module-level function of the same module.
+        fid = function_id(mf.module, name)
+        entry = self.functions.get(fid)
+        if entry is not None and not entry[1].cls and not entry[1].parent:
+            return fid
+        # Class constructor in the same module.
+        if (mf.module, name) in self._classes:
+            return self._resolve_method_in_hierarchy(
+                mf.module, name, "__init__"
+            )
+        # Imported function or class.
+        dotted = mf.imports.get(name)
+        if dotted is not None:
+            return self._resolve_dotted(dotted)
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> Optional[FunctionId]:
+        """Resolve ``pkg.mod.member`` to a function or constructor."""
+        module, _, member = dotted.rpartition(".")
+        if not module:
+            return None
+        target = self.by_module.get(module)
+        if target is None:
+            return None
+        fid = function_id(module, member)
+        if fid in self.functions:
+            return fid
+        if (module, member) in self._classes:
+            return self._resolve_method_in_hierarchy(
+                module, member, "__init__"
+            )
+        return None
+
+    # -- methods -------------------------------------------------------- #
+
+    def _resolve_method_in_hierarchy(
+        self, module: str, cls: str, method: str, _seen: Optional[set] = None
+    ) -> Optional[FunctionId]:
+        """Find ``method`` on ``cls`` or its recorded bases (depth-first)."""
+        if _seen is None:
+            _seen = set()
+        if (module, cls) in _seen:
+            return None
+        _seen.add((module, cls))
+        cf = self._classes.get((module, cls))
+        if cf is None:
+            return None
+        if method in cf.methods:
+            return function_id(module, f"{cls}.{method}")
+        mf = self.by_module.get(module)
+        for base in cf.bases:
+            base_module, base_cls = self._locate_class(mf, base)
+            if base_cls is None:
+                continue
+            found = self._resolve_method_in_hierarchy(
+                base_module, base_cls, method, _seen
+            )
+            if found is not None:
+                return found
+        return None
+
+    def _locate_class(
+        self, mf: Optional[ModuleFacts], name: str
+    ) -> Tuple[str, Optional[str]]:
+        """Find the defining module of class ``name`` seen from ``mf``."""
+        if mf is not None:
+            if (mf.module, name) in self._classes:
+                return mf.module, name
+            dotted = mf.imports.get(name)
+            if dotted is not None:
+                module, _, member = dotted.rpartition(".")
+                if (module, member) in self._classes:
+                    return module, member
+        # Last resort: a unique class of that name anywhere in the
+        # program (annotation strings often elide the module).
+        candidates = self._classes_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0][0], name
+        return "", None
+
+    # -- attribute calls ------------------------------------------------ #
+
+    def _resolve_attr_call(
+        self, mf: ModuleFacts, ff: FunctionFacts, call: CallFact
+    ) -> Optional[FunctionId]:
+        path = call.path
+        if len(path) < 2:
+            return None
+        root, method = path[0], path[-1]
+        # Module alias: ``import repro.os.kernel as k; k.f(...)`` or
+        # ``from repro import os_mod; os_mod.f(...)``.
+        if len(path) == 2 and root in mf.imports:
+            dotted = mf.imports[root]
+            target = self.by_module.get(dotted)
+            if target is not None:
+                fid = function_id(dotted, method)
+                if fid in self.functions:
+                    return fid
+            # ``from x import Class; Class.method(...)`` (static-ish use).
+            module, _, member = dotted.rpartition(".")
+            if (module, member) in self._classes:
+                return self._resolve_method_in_hierarchy(
+                    module, member, method
+                )
+        # Receiver typed by a parameter annotation: ``def f(kernel:
+        # GuestKernel): kernel.m(...)``.
+        if len(path) == 2 and root in ff.params:
+            index = ff.params.index(root)
+            annotation = ff.param_annotations[index]
+            if annotation:
+                module, cls = self._locate_class(mf, annotation)
+                if cls is not None:
+                    return self._resolve_method_in_hierarchy(
+                        module, cls, method
+                    )
+        # ``self.attr.m(...)`` via the class's inferred attribute types.
+        if len(path) == 3 and root == "self" and ff.cls:
+            cf = self._classes.get((mf.module, ff.cls))
+            if cf is not None:
+                attr_type = cf.attr_types.get(path[1])
+                if attr_type:
+                    module, cls = self._locate_class(mf, attr_type)
+                    if cls is not None:
+                        return self._resolve_method_in_hierarchy(
+                            module, cls, method
+                        )
+        # Dynamic dispatch we cannot prove: fall back to unknown.
+        return None
+
+    # -- registries ------------------------------------------------------ #
+
+    def _resolve_registry(
+        self, mf: ModuleFacts, root: str
+    ) -> Tuple[FunctionId, ...]:
+        """``TABLE[key](...)`` -> every function the registry references."""
+        registry_module = mf
+        values = mf.registries.get(root)
+        if values is None and root in mf.imports:
+            dotted = mf.imports[root]
+            module, _, member = dotted.rpartition(".")
+            home = self.by_module.get(module)
+            if home is not None:
+                registry_module = home
+                values = home.registries.get(member)
+        if not values:
+            return ()
+        out: List[FunctionId] = []
+        for name in values:
+            fid = function_id(registry_module.module, name)
+            if fid in self.functions:
+                out.append(fid)
+        return tuple(out)

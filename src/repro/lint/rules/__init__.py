@@ -1,14 +1,23 @@
-"""Rule modules; importing this package registers every built-in rule."""
+"""Rule modules; importing this package registers every built-in rule.
+
+Order matters in one place: :mod:`fastpath_invalidation` registers an
+alias targeting ``mirror-coherence``, so :mod:`mirror_coherence` must
+be imported first.
+"""
 
 from . import (
     address_flow,
     address_math,
     api_hygiene,
     determinism,
-    fastpath_invalidation,
+    ipa_address_flow,
+    mirror_coherence,
     observability,
+    snapshot_determinism,
+    spawn_safety,
     units_discipline,
 )
+from . import fastpath_invalidation  # noqa: E402  (alias; see docstring)
 
 __all__ = [
     "address_flow",
@@ -16,6 +25,10 @@ __all__ = [
     "api_hygiene",
     "determinism",
     "fastpath_invalidation",
+    "ipa_address_flow",
+    "mirror_coherence",
     "observability",
+    "snapshot_determinism",
+    "spawn_safety",
     "units_discipline",
 ]

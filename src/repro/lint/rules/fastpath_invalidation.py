@@ -1,105 +1,36 @@
-"""Fast-path invalidation contract: PTE mutations must shoot down.
+"""Retired: ``fastpath-invalidation`` is now a mirror-coherence contract.
 
-The engine's translation fast path (:mod:`repro.sim.fastpath`) keeps a
-per-core mirror of the L1 TLB. The mirror stays correct only because
-every translation-*changing* guest page-table mutation reaches a TLB
-shootdown: kernel code calls ``_notify_unmap(pid, vpn)`` (fanned out to
-each core's ``TlbHierarchy.invalidate``, which maintains the mirror)
-alongside every ``page_table.unmap`` / ``unmap_huge`` / ``update`` call
--- the COW break, swap/reclaim, huge-split and free paths all follow
-this pairing (see docs/internals.md, "Performance").
+The original rule checked one function body at a time: a guest
+page-table mutation (``page_table.unmap`` / ``unmap_huge`` / ``update``)
+with no TLB shootdown (``_notify_unmap`` / ``invalidate`` / ``flush``)
+in the *same* function was flagged. That pairing is exactly the
+``guest-pt-shootdown`` contract in :mod:`repro.lint.ipa.contracts`,
+which the whole-program ``mirror-coherence`` rule checks over the call
+graph -- it also sees mutations delegated through helpers, which the
+per-function version could not.
 
-This rule pins the pairing statically: a function that mutates an
-existing guest translation with no invalidation hook in sight is a
-fast-path correctness bug even while no test happens to trip over the
-stale entry. ``map``/``map_huge`` install translations where none
-existed -- no TLB entry can be stale -- so they need no shootdown and
-are not checked.
+The rule id survives as an alias: suppression pragmas
+(``# simlint: disable=fastpath-invalidation``) and ``--disable``
+entries naming it apply to ``mirror-coherence``, so existing
+configurations keep working. The historical constants remain importable
+for the same reason; the contract registry is their source of truth now.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator
-
-from ..core import Finding, LintContext, Rule, register
+from ..core import register_alias
+from ..ipa.contracts import GUEST_PT
 
 #: Page-table methods that change or remove an existing translation.
-MUTATORS = frozenset({"unmap", "unmap_huge", "update"})
+MUTATORS = GUEST_PT.mutators.methods
 
 #: Calls that count as reaching the shootdown/invalidation machinery.
 INVALIDATION_HOOKS = frozenset(
-    {"_notify_unmap", "notify_unmap", "invalidate", "flush"}
+    name for pattern in GUEST_PT.invalidators for name in pattern.methods
 )
 
-#: Receiver names identifying a *guest* page table. Host-PT mutations
-#: (``host_pt.unmap`` in the hypervisor's unback path) are out of scope:
-#: the model never unbacks frames inside a measured window.
+#: Receiver names identifying a *guest* page table (historical shape;
+#: the contract matches receiver tokens {"page", "table"} instead).
 GUEST_PT_RECEIVERS = frozenset({"page_table"})
 
-
-def _is_guest_pt_mutation(node: ast.Call) -> bool:
-    func = node.func
-    if not (isinstance(func, ast.Attribute) and func.attr in MUTATORS):
-        return False
-    receiver = func.value
-    if isinstance(receiver, ast.Attribute):
-        return receiver.attr in GUEST_PT_RECEIVERS
-    if isinstance(receiver, ast.Name):
-        return receiver.id in GUEST_PT_RECEIVERS
-    return False
-
-
-def _calls_invalidation_hook(func_node: ast.AST) -> bool:
-    for node in ast.walk(func_node):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        name = (
-            func.attr
-            if isinstance(func, ast.Attribute)
-            else func.id if isinstance(func, ast.Name) else None
-        )
-        if name in INVALIDATION_HOOKS:
-            return True
-    return False
-
-
-@register
-class FastpathInvalidationRule(Rule):
-    """Flag guest-PT mutations with no TLB invalidation in the function."""
-
-    name = "fastpath-invalidation"
-    category = "correctness"
-    description = (
-        "a function mutating an existing guest page-table translation "
-        "(page_table.unmap/unmap_huge/update) must also reach a TLB "
-        "shootdown (_notify_unmap/invalidate/flush), or the engine "
-        "fast path can serve a stale translation"
-    )
-
-    def check(self, ctx: LintContext) -> Iterator[Finding]:
-        if ctx.is_test_code:
-            return
-        for func_node in ast.walk(ctx.tree):
-            if not isinstance(
-                func_node, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
-            mutations = [
-                node
-                for body_item in func_node.body
-                for node in ast.walk(body_item)
-                if isinstance(node, ast.Call) and _is_guest_pt_mutation(node)
-            ]
-            if not mutations or _calls_invalidation_hook(func_node):
-                continue
-            for node in mutations:
-                yield ctx.finding(
-                    node,
-                    self,
-                    f"{node.func.attr}() mutates an existing guest "
-                    "translation but this function never reaches a TLB "
-                    "shootdown (_notify_unmap/invalidate/flush); the "
-                    "fast-path mirror would go stale",
-                )
+register_alias("fastpath-invalidation", "mirror-coherence")

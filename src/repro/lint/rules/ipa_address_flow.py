@@ -1,0 +1,96 @@
+"""Interprocedural address-flow: lattice checking across call edges.
+
+The per-file ``address-flow`` rule (PR 4) checks call arguments against
+a curated signature table and same-file naming-derived signatures. This
+rule lifts the same gVA/gPA/hPA lattice across function boundaries via
+the whole-program summaries: a parameter whose *own* name is opaque
+(``value``, ``x``) inherits the space demanded by the callee parameter
+it is forwarded into, transitively -- so a guest-virtual address flowing
+into a host-physical slot two calls deep is flagged at the first call.
+
+To avoid double-reporting, sites the per-file rule already covers are
+skipped: callees in the curated signature table, and same-module callees
+whose parameter naming alone proves the mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import Finding, ProgramRule, register
+from ..flow import SIGNATURES, Space, compatible
+
+#: Spaces too generic to ground a mismatch on either side.
+_VAGUE = frozenset({Space.UNKNOWN.value, Space.ADDR.value, Space.PAGE.value})
+
+
+@register
+class IpaAddressFlowRule(ProgramRule):
+    """Flag arguments whose space contradicts the callee's demand."""
+
+    name = "ipa-address-flow"
+    category = "address-math"
+    description = (
+        "an argument's naming-derived address space must be compatible "
+        "with the space the callee parameter demands -- including "
+        "demands inherited through further calls (a gVA reaching an "
+        "hPA-typed parameter two calls deep)"
+    )
+
+    def check_program(self, program, summaries) -> Iterator[Finding]:
+        demands = summaries.param_demands
+        edges = program.edges
+        for fid, mf, ff in program.iter_functions():
+            for index, targets in edges.get(fid, ()):
+                call = ff.calls[index]
+                if call.keyword_count:
+                    # Positional mapping is unreliable once keywords mix in.
+                    continue
+                for position, arg in enumerate(call.args):
+                    if arg.space in _VAGUE:
+                        continue
+                    for target in targets:
+                        target_mf, target_ff = program.facts_for(target)
+                        demanded = demands[target]
+                        if position >= len(demanded):
+                            continue
+                        demand = demanded[position]
+                        if demand in _VAGUE:
+                            continue
+                        if compatible(Space(arg.space), Space(demand)):
+                            continue
+                        direct = target_ff.param_spaces[position]
+                        inherited = direct in _VAGUE
+                        if not inherited and (
+                            target_mf.module == mf.module
+                            or target_ff.name in SIGNATURES
+                        ):
+                            # The per-file address-flow rule sees this one.
+                            continue
+                        param = target_ff.params[position]
+                        via = ""
+                        if inherited:
+                            chain = summaries.demand_chain(target, position)
+                            sink_fid, sink_index = chain[-1]
+                            _, sink_ff = program.facts_for(sink_fid)
+                            if sink_fid != target:
+                                via = (
+                                    f" (inherited from parameter "
+                                    f"'{sink_ff.params[sink_index]}' of "
+                                    f"{sink_ff.qualname}(), "
+                                    f"{len(chain)} calls deep)"
+                                )
+                        yield Finding(
+                            path=mf.path,
+                            line=call.line,
+                            col=call.col,
+                            rule=self.name,
+                            message=(
+                                f"argument {position + 1} is {arg.space} "
+                                f"but parameter '{param}' of "
+                                f"{target_ff.qualname}() demands "
+                                f"{demand}{via}; {arg.space} and {demand} "
+                                "are provably different address spaces"
+                            ),
+                        )
+                        break

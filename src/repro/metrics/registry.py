@@ -246,7 +246,7 @@ class MetricsSnapshot:
             )
         registry = MetricsRegistry()
         snapshot = cls(str(payload.get("label", "")), registry=registry)
-        for name, entry in dict(payload.get("metrics") or {}).items():
+        for name, entry in sorted(dict(payload.get("metrics") or {}).items()):
             kind = MetricKind(entry["kind"])
             registry.register(
                 name,

@@ -122,14 +122,14 @@ def render_summary(summary: Dict[str, object]) -> str:
     ]
     by_tracepoint: Dict[str, int] = summary["by_tracepoint"]  # type: ignore[assignment]
     width = max((len(name) for name in by_tracepoint), default=0)
-    for name, count in by_tracepoint.items():
+    for name, count in sorted(by_tracepoint.items()):
         lines.append(f"  {name.ljust(width)}  {count}")
     series: Dict[str, Dict[str, object]] = summary["series"]  # type: ignore[assignment]
     if series:
         lines.append("")
         lines.append("sampled series (min / max / final):")
         swidth = max(len(name) for name in series)
-        for name, stats in series.items():
+        for name, stats in sorted(series.items()):
             lines.append(
                 f"  {name.ljust(swidth)}  {stats['samples']:>5} samples   "
                 f"{stats['min']:g} / {stats['max']:g} / {stats['final']:g}"

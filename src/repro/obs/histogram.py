@@ -160,7 +160,7 @@ class Log2Histogram:
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "Log2Histogram":
         out = cls()
-        for bucket, n in dict(payload.get("buckets") or {}).items():
+        for bucket, n in sorted(dict(payload.get("buckets") or {}).items()):
             out.buckets[int(bucket)] = int(n)
         out.count = int(payload.get("count") or 0)
         out.total = int(payload.get("total") or 0)

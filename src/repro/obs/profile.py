@@ -135,7 +135,7 @@ class ProfileNode:
         children = payload.get("children") or {}
         out.children = {
             child_name: cls.from_dict(child_name, child_payload)
-            for child_name, child_payload in children.items()
+            for child_name, child_payload in sorted(children.items())
         }
         return out
 

@@ -17,6 +17,7 @@ import pytest
 
 from repro.lint import (
     JSON_SCHEMA_VERSION,
+    RULE_ALIASES,
     RULES,
     iter_rules,
     lint_paths,
@@ -60,9 +61,15 @@ def test_registry_has_expected_rules():
         "tracepoint-naming",
         "metrics-naming",
         "address-flow",
-        "fastpath-invalidation",
+        "mirror-coherence",
+        "ipa-address-flow",
+        "snapshot-determinism",
+        "spawn-safety",
     } <= names
     assert set(RULES) == names
+    # The retired per-function rule survives only as an alias.
+    assert "fastpath-invalidation" not in names
+    assert RULE_ALIASES["fastpath-invalidation"] == "mirror-coherence"
 
 
 # ---------------------------------------------------------------------- #
@@ -606,19 +613,20 @@ def test_metrics_naming_allows_dotted_extra_keys_and_test_code():
 
 
 # ---------------------------------------------------------------------- #
-# correctness: fastpath-invalidation
+# correctness: mirror-coherence (ex fastpath-invalidation; see test_ipa
+# for the interprocedural cases the old rule could not see)
 # ---------------------------------------------------------------------- #
 
-def test_fastpath_invalidation_flags_unpaired_mutation():
+def test_mirror_coherence_flags_unpaired_mutation():
     src = (
         "def do_free(process, vpn):\n"
         "    frame = process.page_table.unmap(vpn)\n"
         "    return frame\n"
     )
-    assert rules_hit(src) == ["fastpath-invalidation"]
+    assert rules_hit(src) == ["mirror-coherence"]
 
 
-def test_fastpath_invalidation_flags_update_and_unmap_huge():
+def test_mirror_coherence_flags_update_and_unmap_huge():
     src = (
         "def cow_break(process, vpn, frame, flags):\n"
         "    process.page_table.update(vpn, frame, flags)\n"
@@ -626,12 +634,12 @@ def test_fastpath_invalidation_flags_update_and_unmap_huge():
         "    process.page_table.unmap_huge(vpn)\n"
     )
     assert rules_hit(src) == [
-        "fastpath-invalidation",
-        "fastpath-invalidation",
+        "mirror-coherence",
+        "mirror-coherence",
     ]
 
 
-def test_fastpath_invalidation_quiet_when_shootdown_paired():
+def test_mirror_coherence_quiet_when_shootdown_paired():
     src = (
         "def do_free(self, process, vpn):\n"
         "    frame = process.page_table.unmap(vpn)\n"
@@ -641,7 +649,7 @@ def test_fastpath_invalidation_quiet_when_shootdown_paired():
     assert rules_hit(src) == []
 
 
-def test_fastpath_invalidation_ignores_fresh_installs_and_host_pt():
+def test_mirror_coherence_ignores_fresh_installs_and_host_pt():
     # map()/map_huge() install where nothing was mapped (no stale TLB
     # entry possible); host_pt is the hypervisor's table, out of scope.
     src = (
@@ -653,6 +661,6 @@ def test_fastpath_invalidation_ignores_fresh_installs_and_host_pt():
     assert rules_hit(src) == []
 
 
-def test_fastpath_invalidation_skips_test_code():
+def test_mirror_coherence_skips_test_code():
     src = "def helper(process, vpn):\n    process.page_table.unmap(vpn)\n"
     assert rules_hit(src, path="tests/test_x.py") == []
