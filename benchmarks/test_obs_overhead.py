@@ -165,3 +165,72 @@ def test_profiler_only_observes_counters_identical():
     baseline = _measured_counters(profile=False)
     profiled = _measured_counters(profile=True)
     assert profiled == baseline
+
+
+# ---------------------------------------------------------------------- #
+# The distributed-capture capsule honours the same contract
+# ---------------------------------------------------------------------- #
+
+def test_capsule_off_overhead_within_two_percent():
+    """An inactive capsule (no --trace/--profile) around every cell must
+    cost <= 2% of a reference run: install/finalize are no-ops, so we
+    hold one full install+finalize round trip per cell -- microbenchmarked
+    at the per-run granularity the runner actually pays -- to the budget."""
+    from repro.obs.remote import CaptureSpec, ObservabilityCapsule
+
+    TRACER.reset()
+    PROFILER.reset()
+    reference_seconds = _best_of(_run_workload)
+
+    def capsule_round_trip():
+        # One spec-less and one inactive-spec capsule per iteration:
+        # both shapes the runner can hand a worker when capture is off.
+        for spec in (None, CaptureSpec()):
+            capsule = ObservabilityCapsule(spec)
+            capsule.install()
+            assert capsule.finalize() is None
+
+    # A run executes ONE capsule round trip; measuring 1000 of them and
+    # budgeting the per-trip cost keeps the timing well above clock
+    # resolution while staying conservative.
+    trips = 1000
+
+    def check_trips():
+        for _ in range(trips):
+            capsule_round_trip()
+
+    trip_seconds = _best_of(check_trips) / trips
+    ratio = trip_seconds / reference_seconds
+
+    table = Table(
+        ["Metric", "Value"],
+        title="Capsule-off overhead (install+finalize vs. reference run)",
+    )
+    table.add_row("reference run", f"{reference_seconds * 1e3:.2f} ms")
+    table.add_row("capsule round trip", f"{trip_seconds * 1e6:.2f} us")
+    table.add_row("overhead", f"{ratio * 100:.4f}%")
+    print()
+    print(table.render())
+
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"capsule-off overhead {ratio * 100:.2f}% exceeds "
+        f"{MAX_DISABLED_OVERHEAD * 100:.0f}% budget"
+    )
+
+
+def test_inactive_capsule_leaves_observability_untouched():
+    """Installing an inactive capsule must not arm the tracer/profiler or
+    perturb their state."""
+    from repro.obs.remote import CaptureSpec, ObservabilityCapsule
+
+    TRACER.reset()
+    PROFILER.reset()
+    capsule = ObservabilityCapsule(CaptureSpec())
+    capsule.install()
+    assert not TRACER.active
+    assert not PROFILER.enabled
+    _run_workload()
+    assert TRACER.now == 0
+    assert capsule.finalize() is None
+    assert not TRACER.active
+    assert not PROFILER.enabled

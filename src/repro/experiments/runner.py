@@ -14,18 +14,28 @@ each experiment once per seed) over N spawn-safe worker processes; the
 parent merges results in submission order, so the report and every
 output file stay byte-identical to ``--jobs 1``. See :mod:`repro.parallel`.
 
-With ``--trace PATH`` the run streams every enabled tracepoint event to a
-JSONL trace keyed to modelled cycles (inspect with ``python -m repro.obs
-summarize`` or convert for Perfetto with ``python -m repro.obs export``);
-``--sample-interval N`` additionally records the standard time series
-(fragmentation, free lists, PaRT occupancy, ...) every N modelled cycles.
+With ``--trace PATH`` the run writes a JSONL trace keyed to modelled
+cycles (inspect with ``python -m repro.obs summarize`` or convert for
+Perfetto with ``python -m repro.obs export``); ``--sample-interval N``
+additionally records the standard time series (fragmentation, free
+lists, PaRT occupancy, ...) every N modelled cycles.
 
 ``--metrics-out PATH`` writes the experiment's measurements as a metrics
 snapshot document (compare two with ``python -m repro.obs diff``);
 ``--profile`` turns on the cycle-attribution profiler so snapshots embed
 attribution trees, and ``--flamegraph PATH`` dumps the run's folded
-stacks for flamegraph.pl / speedscope. These three require a single
-``--experiment`` (not ``all``).
+stacks for flamegraph.pl / speedscope (implies ``--profile``). Metrics,
+profile and flamegraph require a single ``--experiment`` (not ``all``).
+
+All observability flags compose with ``--jobs N``: each worker installs
+an :class:`~repro.obs.remote.ObservabilityCapsule` around its cell and
+ships the captured trace slice, attribution tree and sampler series back
+to the parent, which merges them deterministically (submission-order,
+modelled-cycle interleave) -- the merged trace/flamegraph/metrics files
+are byte-identical at any job count. ``--manifest PATH`` additionally
+logs a structured JSONL run manifest (cell submit/start/finish/crash,
+capsule accounting, merge provenance) and ``--progress`` tails worker
+heartbeats as live per-cell status lines on stderr.
 """
 
 from __future__ import annotations
@@ -39,9 +49,16 @@ from ..config import PlatformConfig
 from ..metrics.collect import snapshot_outcome
 from ..metrics.registry import REGISTRY, MetricsSnapshot, write_snapshots
 from ..metrics.report import Table
-from ..obs.profile import PROFILER
+from ..obs.profile import render_folded
+from ..obs.remote import (
+    CaptureSpec,
+    RunManifest,
+    capsule_nbytes,
+    capsule_snapshots,
+    merge_capsules,
+    render_progress_event,
+)
 from ..obs.sinks import JsonlSink
-from ..obs.trace import TRACER
 from ..parallel import ExperimentCell, ParallelExecutionError, run_cells
 from ..workloads.registry import table3_rows
 from .baselines import render_baselines, run_baselines
@@ -313,6 +330,76 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
 }
 
 
+class _RunLifecycle:
+    """Routes lifecycle events to the run manifest and ``--progress``.
+
+    Progress lines print as events arrive (live, completion order); the
+    manifest instead buffers worker heartbeats and flushes each cell's
+    ``start``/``finish`` rows when the parent consumes that cell's
+    result -- submission order -- so manifest row order is identical at
+    any job count (``repro.parallel`` guarantees a cell's ``finish``
+    heartbeat is relayed before its result is yielded).
+    """
+
+    def __init__(
+        self, manifest: "RunManifest | None", progress: bool
+    ) -> None:
+        self.manifest = manifest
+        self.progress = progress
+        self._starts: Dict[Tuple[str, int], dict] = {}
+        self._finishes: Dict[Tuple[str, int], dict] = {}
+
+    def handle(self, event: dict) -> None:
+        """The ``on_event`` callback handed to ``run_cells``."""
+        kind = event.get("event")
+        key = (str(event.get("experiment")), int(event.get("seed", 0)))
+        if kind == "start":
+            self._starts[key] = event
+        elif kind == "finish":
+            self._finishes[key] = event
+        elif kind == "crash" and self.manifest is not None:
+            self.manifest.event(
+                "crash",
+                experiment=key[0],
+                seed=key[1],
+                error=event.get("error"),
+            )
+        if self.progress:
+            line = render_progress_event(event)
+            if line:
+                print(line, file=sys.stderr, flush=True)
+
+    def consumed(self, result, index: int) -> None:
+        """Flush the consumed cell's start/finish rows to the manifest."""
+        if self.manifest is None:
+            return
+        cell = result.cell
+        key = (cell.experiment, cell.seed)
+        start = self._starts.pop(key, {})
+        self.manifest.event(
+            "start",
+            experiment=cell.experiment,
+            seed=cell.seed,
+            index=index,
+            pid=start.get("pid"),
+            wall_time=start.get("wall_time"),
+        )
+        finish: Dict[str, object] = {
+            "experiment": cell.experiment,
+            "seed": cell.seed,
+            "index": index,
+            "wall_seconds": result.elapsed_seconds,
+            "snapshots": sorted(result.snapshot_docs),
+        }
+        self._finishes.pop(key, None)
+        if result.capsule is not None:
+            clock = result.capsule.get("clock") or {}
+            finish["modelled_cycles"] = clock.get("cycles", 0)
+            finish["trace_events"] = len(result.capsule.get("events") or [])
+            finish["capsule_bytes"] = capsule_nbytes(result.capsule)
+        self.manifest.event("finish", **finish)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner",
@@ -379,8 +466,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--flamegraph",
         metavar="PATH",
-        help="write the run's folded stacks to PATH (requires --profile; "
+        help="write the run's folded stacks to PATH (implies --profile; "
         "render with flamegraph.pl or speedscope)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a structured JSONL run manifest to PATH (cell "
+        "submit/start/finish/crash events, capsule accounting, merge "
+        "provenance)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live per-cell status lines (worker heartbeats) to "
+        "stderr",
     )
     args = parser.parse_args(argv)
     if args.sample_interval < 0:
@@ -388,7 +488,13 @@ def main(argv=None) -> int:
     if args.sample_interval and not args.trace:
         parser.error("--sample-interval requires --trace")
     if args.flamegraph and not args.profile:
-        parser.error("--flamegraph requires --profile")
+        # Historically this silently wrote an empty tree; profiling is
+        # what --flamegraph is for, so switch it on.
+        print(
+            "note: --flamegraph implies --profile; enabling the profiler",
+            file=sys.stderr,
+        )
+        args.profile = True
     if (
         args.metrics_out or args.profile or args.flamegraph
     ) and args.experiment == "all":
@@ -397,13 +503,6 @@ def main(argv=None) -> int:
         )
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if args.jobs > 1 and (
-        args.trace or args.sample_interval or args.profile or args.flamegraph
-    ):
-        parser.error(
-            "--trace/--sample-interval/--profile/--flamegraph rely on "
-            "process-global observability state and require --jobs 1"
-        )
     if args.seeds is not None:
         try:
             seeds = [
@@ -427,25 +526,45 @@ def main(argv=None) -> int:
     ]
     payloads = {}
     snapshots: Dict[str, MetricsSnapshot] = {}
-    sink = None
-    if args.trace:
-        sink = JsonlSink(args.trace)
-        TRACER.attach(sink)
+    capture = None
+    if args.trace or args.profile:
         categories = [
             token.strip()
             for token in args.trace_categories.split(",")
             if token.strip()
         ]
-        TRACER.enable(*(categories or ["*"]))
-        TRACER.sample_interval_cycles = args.sample_interval
-    if args.profile:
-        PROFILER.reset()
-        PROFILER.enable()
+        capture = CaptureSpec(
+            trace=bool(args.trace),
+            categories=tuple(categories or ["*"]),
+            sample_interval_cycles=args.sample_interval,
+            profile=args.profile,
+        )
+    manifest = RunManifest(args.manifest) if args.manifest else None
+    lifecycle = _RunLifecycle(manifest, args.progress)
+    on_event = (
+        lifecycle.handle if (manifest is not None or args.progress) else None
+    )
+    if manifest is not None:
+        manifest.run_start(names, seeds, args.jobs, capture)
+        # Submit rows are written up front (not from run_cells events,
+        # whose timing differs between --jobs 1 and --jobs N) so the
+        # manifest row order is identical at any job count.
+        for index, cell in enumerate(cells):
+            manifest.event(
+                "submit",
+                index=index,
+                experiment=cell.experiment,
+                seed=cell.seed,
+            )
+    # (cell label, capsule document) in submission order, for the merge.
+    capsule_entries = []
+    status = 0
     try:
-        # Both --jobs 1 and --jobs N flow through the same cell/merge
-        # code (results arrive in submission order either way), so the
-        # printed report and every output file are byte-identical.
-        for result in run_cells(cells, args.jobs):
+        # Both --jobs 1 and --jobs N flow through the same cell/capsule
+        # merge code (results arrive in submission order either way), so
+        # the printed report and every output file are byte-identical.
+        results = run_cells(cells, args.jobs, spec=capture, on_event=on_event)
+        for index, result in enumerate(results):
             name = result.cell.experiment
             seed = result.cell.seed
             print(result.text)
@@ -460,21 +579,39 @@ def main(argv=None) -> int:
                 if multi_seed:
                     snapshot.label = f"{label}.seed{seed}"
                 snapshots[snapshot.label] = snapshot
+            capsule_entries.append((f"{name}.seed{seed}", result.capsule))
+            lifecycle.consumed(result, index)
     except ParallelExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    finally:
-        if args.profile:
-            PROFILER.disable()
-        if sink is not None:
-            TRACER.detach(sink)
-            TRACER.disable()
-            TRACER.sample_interval_cycles = 0
-            sink.close()
-            print(
-                f"wrote {sink.events_written} trace events to {args.trace} "
-                "(inspect: python -m repro.obs summarize)"
+        status = 1
+    merged = merge_capsules(capsule_entries) if capture is not None else None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        for event in merged.events if merged is not None else []:
+            sink.write(event)
+        sink.close()
+        print(
+            f"wrote {sink.events_written} trace events to {args.trace} "
+            "(inspect: python -m repro.obs summarize)"
+        )
+    if merged is not None and capture.trace and merged.provenance:
+        for label, snapshot in sorted(capsule_snapshots(merged).items()):
+            snapshots[label] = snapshot
+    if manifest is not None:
+        if merged is not None:
+            manifest.event(
+                "merge",
+                cells=merged.provenance,
+                trace=args.trace,
+                flamegraph=args.flamegraph,
+                merged_events=len(merged.events),
+                dropped_events=merged.dropped_events,
             )
+        manifest.event("run_end", status="error" if status else "ok")
+        manifest.close()
+        print(f"wrote run manifest to {args.manifest}")
+    if status:
+        return status
     if args.metrics_out:
         if snapshots:
             write_snapshots(args.metrics_out, snapshots)
@@ -489,8 +626,9 @@ def main(argv=None) -> int:
                 f"skipped {args.metrics_out}"
             )
     if args.flamegraph:
+        profile = merged.profile if merged is not None else None
         with open(args.flamegraph, "w", encoding="utf-8") as handle:
-            folded = PROFILER.to_folded()
+            folded = render_folded(profile) if profile is not None else ""
             handle.write(folded + ("\n" if folded else ""))
         print(
             f"wrote {args.flamegraph} (render with flamegraph.pl or "

@@ -11,12 +11,19 @@ import sys
 from collections import Counter
 from typing import List, Optional
 
+from ..github import escape_data, escape_property, workflow_command
 from .core import (
     JSON_SCHEMA_VERSION,
     RULE_ALIASES,
     iter_rules,
     lint_paths,
 )
+
+#: Kept under the historical private names: external tooling (and the
+#: test suite) imports the escaping helpers from here; the shared
+#: implementation lives in :mod:`repro.github`.
+_escape_github_data = escape_data
+_escape_github_property = escape_property
 
 
 def _render_text(findings) -> str:
@@ -37,18 +44,6 @@ def _render_json(findings) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def _escape_github_data(value: str) -> str:
-    """Escape a workflow-command message (order matters: % first)."""
-    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
-
-
-def _escape_github_property(value: str) -> str:
-    """Escape a workflow-command property (also , and :)."""
-    return (
-        _escape_github_data(value).replace(",", "%2C").replace(":", "%3A")
-    )
-
-
 def _render_github(findings) -> str:
     """GitHub Actions workflow commands: findings annotate the diff.
 
@@ -56,12 +51,13 @@ def _render_github(findings) -> str:
     ``ast`` column offsets.
     """
     lines = [
-        "::error file={path},line={line},col={col},title={title}::{message}".format(
-            path=_escape_github_property(finding.path),
+        workflow_command(
+            "error",
+            finding.message,
+            file=finding.path,
             line=finding.line,
             col=finding.col + 1,
-            title=_escape_github_property(f"simlint {finding.rule}"),
-            message=_escape_github_data(finding.message),
+            title=f"simlint {finding.rule}",
         )
         for finding in findings
     ]

@@ -8,10 +8,11 @@ workers). Code that accumulates results into a module-level dict/list
 therefore works in-process and silently drops data under ``--parallel``.
 
 This rule walks the call graph from every worker entry point
-(``run_cell``) and flags mutations of module-level mutable bindings
-reachable from one -- assignment through ``global``, subscript stores,
-and in-place method calls (``X.append``, ``X.update``, ...) on a bare
-module-level name.
+(``run_cell``, plus the observability-capsule lifecycle methods that
+``run_cell`` drives around each cell) and flags mutations of
+module-level mutable bindings reachable from one -- assignment through
+``global``, subscript stores, and in-place method calls (``X.append``,
+``X.update``, ...) on a bare module-level name.
 
 Deliberately per-process singletons are exempt via
 :data:`SPAWN_SAFE_GLOBALS`; each entry carries its justification.
@@ -25,6 +26,18 @@ from ..core import Finding, ProgramRule, register
 
 #: Worker entry-point function names (the ``repro.parallel`` contract).
 ENTRY_POINTS = frozenset({"run_cell"})
+
+#: Worker entry-point *methods*, matched by qualname. The capsule
+#: lifecycle (install/finalize/abort) runs inside every spawn worker
+#: around the experiment, so worker-side observability code hanging off
+#: it gets the same reachability treatment as ``run_cell`` itself.
+METHOD_ENTRY_POINTS = frozenset(
+    {
+        "ObservabilityCapsule.install",
+        "ObservabilityCapsule.finalize",
+        "ObservabilityCapsule.abort",
+    }
+)
 
 #: Module-level singletons that are *designed* per-process: mutating
 #: them inside a spawn worker is correct because every worker owns a
@@ -64,7 +77,8 @@ class SpawnSafetyRule(ProgramRule):
         entries = [
             fid
             for fid, _, ff in program.iter_functions()
-            if ff.name in ENTRY_POINTS and not ff.cls
+            if (ff.name in ENTRY_POINTS and not ff.cls)
+            or ff.qualname in METHOD_ENTRY_POINTS
         ]
         cone = set()
         reachable = summaries.reachable

@@ -21,7 +21,12 @@ traces:
   cycle-attribution profiler (folded-stack / JSON export, same
   zero-overhead-when-disabled guard discipline as tracepoints);
 * :func:`diff_snapshots` / ``python -m repro.obs diff`` -- differential
-  analysis of two metrics snapshots with a regression threshold.
+  analysis of two metrics snapshots with a regression threshold;
+* :class:`CaptureSpec` / :class:`ObservabilityCapsule` /
+  :func:`merge_capsules` / :class:`RunManifest` -- distributed capture:
+  per-worker telemetry capsules for ``--jobs N`` runs, deterministic
+  cross-worker trace/profile merge, and the structured run manifest
+  (see :mod:`repro.obs.remote`).
 
 Record a trace from the experiment runner and inspect it::
 
@@ -35,6 +40,17 @@ See docs/internals.md ("Observability") for the tracepoint catalog.
 
 from .diff import SnapshotDiff, diff_snapshots, render_diff
 from .export import render_summary, summarize, to_chrome
+from .remote import (
+    CaptureSpec,
+    MergedObservability,
+    ObservabilityCapsule,
+    RunManifest,
+    capsule_snapshots,
+    manifest_fingerprint,
+    merge_capsules,
+    merge_profile_trees,
+    read_manifest,
+)
 from .histogram import Log2Histogram
 from .profile import (
     PROFILER,
@@ -60,22 +76,31 @@ __all__ = [
     "PROFILER",
     "TRACEPOINT_NAME_RE",
     "TRACER",
+    "CaptureSpec",
     "JsonlSink",
     "Log2Histogram",
+    "MergedObservability",
+    "ObservabilityCapsule",
     "PeriodicSampler",
     "ProfileNode",
     "Profiler",
     "RingBufferSink",
+    "RunManifest",
     "SnapshotDiff",
     "TimeSeries",
     "TraceEvent",
     "Tracepoint",
     "Tracer",
+    "capsule_snapshots",
     "capture",
     "diff_snapshots",
     "iter_trace",
+    "manifest_fingerprint",
+    "merge_capsules",
+    "merge_profile_trees",
     "profiling",
     "rank_delta",
+    "read_manifest",
     "read_trace",
     "render_diff",
     "render_folded",

@@ -16,7 +16,9 @@ the instrumented layers and lists every registered tracepoint;
 metrics-snapshot files (``--metrics-out`` / benchmark output; append
 ``#label`` to pick one snapshot from a multi-snapshot file) and exits
 non-zero when ``--threshold`` is given and any metric moved by more than
-that percentage -- the CI regression gate.
+that percentage -- the CI regression gate. ``diff --format github``
+additionally prints one ``::error`` workflow-command annotation per
+threshold breach, so the gate marks up PRs instead of only failing.
 """
 
 from __future__ import annotations
@@ -98,12 +100,14 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
+    from ..github import workflow_command
     from ..metrics.registry import load_snapshot
 
     before = load_snapshot(args.before)
     after = load_snapshot(args.after)
     result = diff_snapshots(before, after)
-    if args.json:
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
         json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
@@ -118,6 +122,22 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if args.threshold is not None:
         breaches = result.breaches(args.threshold)
         if breaches:
+            if fmt == "github":
+                # One workflow-command annotation per breach, so the CI
+                # perf gate marks up the PR instead of only failing.
+                path = args.after.split("#", 1)[0]
+                for delta in breaches:
+                    print(
+                        workflow_command(
+                            "error",
+                            f"{delta.formatted()} exceeds the "
+                            f"{args.threshold:g}% perf gate "
+                            f"({result.label_before} -> "
+                            f"{result.label_after})",
+                            file=path,
+                            title="perf regression",
+                        )
+                    )
             print(
                 f"REGRESSION: {len(breaches)} metric(s) moved more than "
                 f"{args.threshold:g}% (worst: {breaches[0].formatted()})"
@@ -191,7 +211,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--all", action="store_true", help="also list unchanged metrics"
     )
     p_diff.add_argument(
-        "--json", action="store_true", help="emit the diff as JSON"
+        "--json", action="store_true", help="emit the diff as JSON "
+        "(alias for --format json)"
+    )
+    p_diff.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default=None,
+        help="output format; 'github' renders the text diff and emits "
+        "one ::error workflow-command annotation per threshold breach",
     )
     p_diff.set_defaults(func=_cmd_diff)
 

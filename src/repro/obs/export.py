@@ -28,15 +28,44 @@ from .trace import TraceEvent
 #: Per-process track when the event does not say which pid it concerns.
 DEFAULT_PID = 0
 
+#: Synthetic event a merged multi-worker trace carries once per cell
+#: (emitted by :func:`repro.obs.remote.merge_capsules`); exported as
+#: Chrome ``process_name`` metadata so each worker's track shows its
+#: cell label in Perfetto.
+WORKER_TRACK_EVENT = "capsule.track"
+
 
 def to_chrome(events: Iterable[TraceEvent]) -> Dict[str, object]:
-    """Convert events to a Chrome ``trace_event`` JSON object."""
+    """Convert events to a Chrome ``trace_event`` JSON object.
+
+    Merged multi-worker traces route each event to a per-worker track:
+    an integer ``worker`` argument (the cell's submission index) becomes
+    pid/tid, and :data:`WORKER_TRACK_EVENT` events become process-name
+    metadata, so Perfetto shows one labelled lane per cell with sampler
+    counters split per worker.
+    """
     trace_events: List[Dict[str, object]] = []
     for event in events:
         args = dict(event.args)
+        worker = args.get("worker")
+        if not isinstance(worker, int) or isinstance(worker, bool):
+            worker = None
         pid = args.get("pid", DEFAULT_PID)
         if not isinstance(pid, int):
             pid = DEFAULT_PID
+        if worker is not None:
+            pid = worker
+        if event.name == WORKER_TRACK_EVENT and worker is not None:
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": worker,
+                    "tid": worker,
+                    "args": {"name": str(args.get("label", worker))},
+                }
+            )
+            continue
         entry: Dict[str, object] = {
             "name": event.name,
             "cat": event.category,
@@ -48,9 +77,10 @@ def to_chrome(events: Iterable[TraceEvent]) -> Dict[str, object]:
         cycles = args.get("cycles")
         if event.category == "sample":
             value = args.get("value")
+            counter_pid = DEFAULT_PID if worker is None else worker
             entry["ph"] = "C"
-            entry["pid"] = DEFAULT_PID
-            entry["tid"] = DEFAULT_PID
+            entry["pid"] = counter_pid
+            entry["tid"] = counter_pid
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 entry["args"] = {"value": value}
             else:  # non-numeric sample payloads stay inspectable

@@ -70,8 +70,26 @@ class TestRunnerCli:
     def test_metrics_flags_require_single_experiment(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--metrics-out", str(tmp_path / "m.json")])
+        # --flamegraph implies --profile, which still needs a single
+        # experiment (the default is "all").
         with pytest.raises(SystemExit):
-            main(["--experiment", "table1", "--flamegraph", "fg.folded"])
+            main(["--flamegraph", str(tmp_path / "fg.folded")])
+
+    def test_flamegraph_auto_enables_profile(self, tmp_path, capsys):
+        """--flamegraph without --profile used to write an empty tree
+        silently; it now switches the profiler on (with a stderr note)."""
+        folded = tmp_path / "fg.folded"
+        assert (
+            main(
+                ["--experiment", "table1", "--flamegraph", str(folded)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "--flamegraph implies --profile" in captured.err
+        lines = folded.read_text().splitlines()
+        assert lines, "auto-enabled profiler produced an empty flamegraph"
+        assert any(line.startswith("walk;") for line in lines)
 
     def test_metrics_out_skips_snapshotless_experiments(
         self, tmp_path, capsys
