@@ -59,6 +59,7 @@ from ..obs.remote import (
     render_progress_event,
 )
 from ..obs.sinks import JsonlSink
+from ..obs.watch import WatchBoard, snapshot_rollup, write_frame
 from ..parallel import ExperimentCell, ParallelExecutionError, run_cells
 from ..workloads.registry import table3_rows
 from .baselines import render_baselines, run_baselines
@@ -331,23 +332,47 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
 
 
 class _RunLifecycle:
-    """Routes lifecycle events to the run manifest and ``--progress``.
+    """Routes lifecycle events to the manifest, ``--progress``, ``--watch``.
 
     Progress lines print as events arrive (live, completion order); the
     manifest instead buffers worker heartbeats and flushes each cell's
     ``start``/``finish`` rows when the parent consumes that cell's
     result -- submission order -- so manifest row order is identical at
     any job count (``repro.parallel`` guarantees a cell's ``finish``
-    heartbeat is relayed before its result is yielded).
+    heartbeat is relayed before its result is yielded). The ``--watch``
+    board is fed from the same live events and rendered to stderr after
+    each one; it never touches the run's outputs.
     """
 
     def __init__(
-        self, manifest: "RunManifest | None", progress: bool
+        self,
+        manifest: "RunManifest | None",
+        progress: bool,
+        board: "WatchBoard | None" = None,
+        watch_stream=None,
     ) -> None:
         self.manifest = manifest
         self.progress = progress
+        self.board = board
+        self.watch_stream = watch_stream
+        isatty = getattr(watch_stream, "isatty", None)
+        self._ansi = bool(isatty()) if callable(isatty) else False
         self._starts: Dict[Tuple[str, int], dict] = {}
         self._finishes: Dict[Tuple[str, int], dict] = {}
+
+    def render_board(self) -> None:
+        if self.board is None or self.watch_stream is None:
+            return
+        import time
+
+        # Presentation-only wall clock for the board's elapsed column.
+        now = time.time()  # simlint: disable=wall-clock
+        write_frame(self.watch_stream, self.board.render(now), self._ansi)
+
+    def _board_apply(self, event: dict) -> None:
+        if self.board is not None:
+            self.board.apply(event)
+            self.render_board()
 
     def handle(self, event: dict) -> None:
         """The ``on_event`` callback handed to ``run_cells``."""
@@ -368,22 +393,27 @@ class _RunLifecycle:
             line = render_progress_event(event)
             if line:
                 print(line, file=sys.stderr, flush=True)
+        if kind != "finish":
+            # The finish heartbeat lacks the perf roll-up; the board
+            # gets the enriched row from consumed() instead.
+            self._board_apply(event)
 
     def consumed(self, result, index: int) -> None:
         """Flush the consumed cell's start/finish rows to the manifest."""
-        if self.manifest is None:
+        if self.manifest is None and self.board is None:
             return
         cell = result.cell
         key = (cell.experiment, cell.seed)
         start = self._starts.pop(key, {})
-        self.manifest.event(
-            "start",
-            experiment=cell.experiment,
-            seed=cell.seed,
-            index=index,
-            pid=start.get("pid"),
-            wall_time=start.get("wall_time"),
-        )
+        if self.manifest is not None:
+            self.manifest.event(
+                "start",
+                experiment=cell.experiment,
+                seed=cell.seed,
+                index=index,
+                pid=start.get("pid"),
+                wall_time=start.get("wall_time"),
+            )
         finish: Dict[str, object] = {
             "experiment": cell.experiment,
             "seed": cell.seed,
@@ -397,7 +427,38 @@ class _RunLifecycle:
             finish["modelled_cycles"] = clock.get("cycles", 0)
             finish["trace_events"] = len(result.capsule.get("events") or [])
             finish["capsule_bytes"] = capsule_nbytes(result.capsule)
-        self.manifest.event("finish", **finish)
+        # Stream the per-cell perf roll-up (modelled cycles, accesses,
+        # fault-latency histogram) into the finish row so a live watcher
+        # can derive ops/sec and p99 from the manifest alone. The values
+        # come from the cell's snapshot documents, so the row -- and the
+        # manifest fingerprint -- stay identical at any job count.
+        perf = snapshot_rollup(result.snapshot_docs)
+        if perf:
+            finish["perf"] = perf
+        if self.manifest is not None:
+            self.manifest.event("finish", **finish)
+        self._board_apply(dict(finish, event="finish"))
+
+
+def _output_path_error(path: str) -> "str | None":
+    """Why ``path`` cannot be written, or None when it can.
+
+    The upfront counterpart of ``open(path, "w")``: checked before the
+    simulation starts so ``--metrics-out /bad/dir/out.json`` fails in
+    milliseconds, not after a full figure6 run.
+    """
+    import os
+
+    if os.path.isdir(path):
+        return f"{path} is a directory"
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        return f"directory {parent} does not exist"
+    if not os.access(parent, os.W_OK):
+        return f"directory {parent} is not writable"
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        return f"{path} is not writable"
+    return None
 
 
 def main(argv=None) -> int:
@@ -482,6 +543,23 @@ def main(argv=None) -> int:
         help="print live per-cell status lines (worker heartbeats) to "
         "stderr",
     )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="render a live per-cell board (cells queued/running/"
+        "finished, modelled cycles, ops/sec, fault p99) to stderr while "
+        "the run is in flight; outputs are unchanged",
+    )
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="append the run's metrics snapshots as a record to the run "
+        "ledger at DIR (default: $REPRO_STORE or .repro-store; inspect "
+        "with: python -m repro.obs store list / trend)",
+    )
     args = parser.parse_args(argv)
     if args.sample_interval < 0:
         parser.error("--sample-interval must be non-negative")
@@ -497,12 +575,33 @@ def main(argv=None) -> int:
         args.profile = True
     if (
         args.metrics_out or args.profile or args.flamegraph
+        or args.store is not None
     ) and args.experiment == "all":
         parser.error(
-            "--metrics-out/--profile/--flamegraph need a single --experiment"
+            "--metrics-out/--profile/--flamegraph/--store need a single "
+            "--experiment"
         )
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    # Fail fast on unwritable output targets: a full run must never be
+    # thrown away because its destination turns out to be unwritable
+    # after the simulation finished.
+    store = None
+    if args.store is not None:
+        from ..obs.store import RunStore
+
+        store = RunStore(args.store or None)
+        store_error = store.check_writable()
+        if store_error is not None:
+            print(f"error: --store: {store_error}", file=sys.stderr)
+            return 2
+    if args.metrics_out:
+        metrics_error = _output_path_error(args.metrics_out)
+        if metrics_error is not None:
+            print(
+                f"error: --metrics-out: {metrics_error}", file=sys.stderr
+            )
+            return 2
     if args.seeds is not None:
         try:
             seeds = [
@@ -540,10 +639,36 @@ def main(argv=None) -> int:
             profile=args.profile,
         )
     manifest = RunManifest(args.manifest) if args.manifest else None
-    lifecycle = _RunLifecycle(manifest, args.progress)
-    on_event = (
-        lifecycle.handle if (manifest is not None or args.progress) else None
+    board = WatchBoard() if args.watch else None
+    lifecycle = _RunLifecycle(
+        manifest, args.progress, board=board, watch_stream=sys.stderr
     )
+    on_event = (
+        lifecycle.handle
+        if (manifest is not None or args.progress or board is not None)
+        else None
+    )
+    if board is not None:
+        # Seed the board with the run shape so queued cells show up
+        # before any worker picks them.
+        board.apply(
+            {
+                "event": "run_start",
+                "experiments": names,
+                "seeds": seeds,
+                "jobs": args.jobs,
+            }
+        )
+        for index, cell in enumerate(cells):
+            board.apply(
+                {
+                    "event": "submit",
+                    "index": index,
+                    "experiment": cell.experiment,
+                    "seed": cell.seed,
+                }
+            )
+        lifecycle.render_board()
     if manifest is not None:
         manifest.run_start(names, seeds, args.jobs, capture)
         # Submit rows are written up front (not from run_cells events,
@@ -610,6 +735,11 @@ def main(argv=None) -> int:
         manifest.event("run_end", status="error" if status else "ok")
         manifest.close()
         print(f"wrote run manifest to {args.manifest}")
+    if board is not None:
+        board.apply(
+            {"event": "run_end", "status": "error" if status else "ok"}
+        )
+        lifecycle.render_board()
     if status:
         return status
     if args.metrics_out:
@@ -624,6 +754,46 @@ def main(argv=None) -> int:
             print(
                 f"{args.experiment} produces no metrics snapshot; "
                 f"skipped {args.metrics_out}"
+            )
+    if store is not None:
+        if snapshots:
+            from ..obs.store import RunRecord, git_revision, manifest_sha
+
+            capsule_rollup = None
+            if merged is not None:
+                capsule_rollup = {
+                    "cells": len(merged.provenance),
+                    "events": len(merged.events),
+                    "dropped_events": merged.dropped_events,
+                }
+            record = RunRecord.from_snapshots(
+                args.experiment,
+                snapshots,
+                # Scheduling parameters (--jobs) are deliberately not
+                # recorded: they change how cells executed, not what
+                # they computed, so the record id is identical at any
+                # job count.
+                config={
+                    "experiment": args.experiment,
+                    "seeds": seeds,
+                    "trace": bool(args.trace),
+                    "profile": bool(args.profile),
+                },
+                git_rev=git_revision(),
+                manifest_sha=(
+                    manifest_sha(args.manifest) if args.manifest else None
+                ),
+                capsule=capsule_rollup,
+            )
+            entry = store.add(record)
+            print(
+                f"appended record {entry.id} to {store.root} "
+                "(inspect: python -m repro.obs store list / trend)"
+            )
+        else:
+            print(
+                f"{args.experiment} produces no metrics snapshot; "
+                f"nothing appended to {store.root}"
             )
     if args.flamegraph:
         profile = merged.profile if merged is not None else None

@@ -1,0 +1,428 @@
+"""Perf-trend analytics over the run ledger.
+
+``python -m repro.obs diff`` compares exactly two snapshots; this module
+generalizes that one-baseline gate into an *N-run trajectory*. Given the
+last N ledger records for a label (:mod:`repro.obs.store`), it builds a
+per-metric series, computes a rolling-median baseline over a sliding
+window, and renders a thresholded change-point / regression verdict:
+
+* the newest value is compared against the rolling median of the values
+  before it -- medians shrug off single-run noise that would whipsaw a
+  mean-based gate;
+* a *change point* is the earliest run whose value deviated from its
+  own preceding rolling median by more than the threshold, so a report
+  names the run where a trend broke, not just the fact that it did;
+* metrics that appear or vanish across the window are reported as
+  ``appeared`` / ``removed`` and gate the run only under
+  ``--strict-new`` (the same opt-in ``repro.obs diff`` grew).
+
+``python -m repro.obs trend <metric-glob>`` exits non-zero when any
+matched metric regresses beyond ``--threshold`` -- the CI soft gate --
+and renders text, JSON, GitHub workflow-command annotations, or a
+markdown/HTML report (the BENCH history view).
+
+Metric keys are the snapshots' scalar names
+(:meth:`~repro.metrics.registry.MetricsSnapshot.scalar_items`,
+histograms flattened to ``.count``/``.mean``/``.p99``); records holding
+several member snapshots prefix each name with its member label
+(``colocated.perf.walk_cycles``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle: see
+    # repro.obs.diff).
+    from .store import RunRecord, StoreEntry
+
+#: Unicode sparkline ramp (shared by the text and markdown renderers).
+SPARK_RAMP = "▁▂▃▄▅▆▇█"
+
+#: Verdicts a metric trend can carry.
+VERDICT_OK = "ok"
+VERDICT_REGRESSION = "regression"
+VERDICT_APPEARED = "appeared"
+VERDICT_REMOVED = "removed"
+VERDICT_INSUFFICIENT = "insufficient"
+
+
+def percent_change(before: float, after: float) -> float:
+    """Signed percent change (``repro.metrics`` convention)."""
+    if before == 0:
+        return 0.0 if after == 0 else float("inf")
+    return (after - before) / before * 100.0
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median (mean of the two middle elements for even counts)."""
+    if not values:
+        raise ReproError("median of an empty series")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass
+class TrendPoint:
+    """One run's value of one metric (``value`` None when absent)."""
+
+    seq: int
+    record_id: str
+    value: Optional[float]
+
+
+@dataclass
+class MetricTrend:
+    """One metric's trajectory across the analysed window."""
+
+    metric: str
+    points: List[TrendPoint]
+    #: Rolling median of up to ``window`` preceding present values, per
+    #: point (None where no preceding value exists).
+    medians: List[Optional[float]] = field(default_factory=list)
+    #: Newest value vs its rolling-median baseline.
+    change_percent: float = 0.0
+    #: Index of the earliest point deviating from its preceding rolling
+    #: median by more than the threshold (None without a threshold or
+    #: deviation).
+    changepoint: Optional[int] = None
+    verdict: str = VERDICT_OK
+
+    @property
+    def values(self) -> List[float]:
+        return [p.value for p in self.points if p.value is not None]
+
+    @property
+    def last_value(self) -> Optional[float]:
+        return self.points[-1].value if self.points else None
+
+    @property
+    def baseline(self) -> Optional[float]:
+        return self.medians[-1] if self.medians else None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "points": [
+                {"seq": p.seq, "record": p.record_id, "value": p.value}
+                for p in self.points
+            ],
+            "medians": list(self.medians),
+            "change_percent": (
+                self.change_percent
+                if math.isfinite(self.change_percent)
+                else None
+            ),
+            "changepoint": self.changepoint,
+            "verdict": self.verdict,
+        }
+
+
+def flatten_record(record: "RunRecord") -> Dict[str, float]:
+    """A record's scalar metrics, member-prefixed when ambiguous."""
+    from ..metrics.registry import MetricsSnapshot
+
+    flat: Dict[str, float] = {}
+    members = sorted(record.snapshots)
+    prefix_members = len(members) > 1
+    for member in members:
+        snapshot = MetricsSnapshot.from_dict(record.snapshots[member])
+        for name, value in snapshot.scalar_items():
+            key = f"{member}.{name}" if prefix_members else name
+            flat[key] = value
+    return flat
+
+
+def rolling_medians(
+    values: Sequence[Optional[float]], window: int
+) -> List[Optional[float]]:
+    """Per-point rolling median of the preceding present values.
+
+    ``medians[i]`` is the median of the last ``window`` non-None values
+    strictly before index ``i`` -- the baseline point ``i`` is judged
+    against. Leading points with no history get None.
+    """
+    if window < 1:
+        raise ReproError("rolling-median window must be >= 1")
+    medians: List[Optional[float]] = []
+    history: List[float] = []
+    for value in values:
+        if history:
+            medians.append(median(history[-window:]))
+        else:
+            medians.append(None)
+        if value is not None:
+            history.append(value)
+    return medians
+
+
+def compute_trends(
+    entries: Sequence["StoreEntry"],
+    records: Sequence["RunRecord"],
+    pattern: str,
+    window: int = 5,
+    threshold: Optional[float] = None,
+) -> List[MetricTrend]:
+    """Per-metric trends over ``records`` (append order), glob-filtered.
+
+    ``entries`` supply the provenance (seq, id) for each record, in the
+    same order. The newest record decides ``appeared``; metrics missing
+    from it are ``removed``. With a ``threshold``, any newest-vs-median
+    move beyond it is a ``regression`` (direction-agnostic, matching the
+    ``repro.obs diff`` gate) and ``changepoint`` marks where the series
+    first broke.
+    """
+    if len(entries) != len(records):
+        raise ReproError("entries/records length mismatch")
+    flats = [flatten_record(record) for record in records]
+    names = sorted({name for flat in flats for name in flat})
+    if pattern:
+        names = [
+            name for name in names if fnmatch.fnmatchcase(name, pattern)
+        ]
+    trends: List[MetricTrend] = []
+    for name in names:
+        points = [
+            TrendPoint(entry.seq, entry.id, flat.get(name))
+            for entry, flat in zip(entries, flats)
+        ]
+        trend = MetricTrend(metric=name, points=points)
+        values = [point.value for point in points]
+        trend.medians = rolling_medians(values, window)
+        present = [value for value in values if value is not None]
+        if values and values[-1] is None:
+            trend.verdict = VERDICT_REMOVED
+        elif len(present) <= 1:
+            trend.verdict = (
+                VERDICT_APPEARED
+                if len(points) > 1 and points[-1].value is not None
+                else VERDICT_INSUFFICIENT
+            )
+        else:
+            baseline = trend.medians[-1]
+            trend.change_percent = percent_change(baseline, values[-1])
+            if threshold is not None:
+                if (
+                    not math.isfinite(trend.change_percent)
+                    or abs(trend.change_percent) > threshold
+                ):
+                    trend.verdict = VERDICT_REGRESSION
+                trend.changepoint = _changepoint(
+                    values, trend.medians, threshold
+                )
+        trends.append(trend)
+    return trends
+
+
+def _changepoint(
+    values: Sequence[Optional[float]],
+    medians: Sequence[Optional[float]],
+    threshold: float,
+) -> Optional[int]:
+    """Earliest index deviating from its rolling median beyond threshold."""
+    for index, (value, baseline) in enumerate(zip(values, medians)):
+        if value is None or baseline is None:
+            continue
+        change = percent_change(baseline, value)
+        if not math.isfinite(change) or abs(change) > threshold:
+            return index
+    return None
+
+
+def gate(
+    trends: Sequence[MetricTrend], strict_new: bool = False
+) -> List[MetricTrend]:
+    """The trends that fail the gate (regressions, plus appeared/removed
+    under ``strict_new``)."""
+    failing = [t for t in trends if t.verdict == VERDICT_REGRESSION]
+    if strict_new:
+        failing += [
+            t
+            for t in trends
+            if t.verdict in (VERDICT_APPEARED, VERDICT_REMOVED)
+        ]
+    return failing
+
+
+# ---------------------------------------------------------------------- #
+# Rendering
+# ---------------------------------------------------------------------- #
+
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """A unicode sparkline; absent points render as ``·``."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    chars: List[str] = []
+    for value in values:
+        if value is None:
+            chars.append("·")
+        elif span == 0:
+            chars.append(SPARK_RAMP[0])
+        else:
+            step = int((value - low) / span * (len(SPARK_RAMP) - 1))
+            chars.append(SPARK_RAMP[step])
+    return "".join(chars)
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _format_change(trend: MetricTrend) -> str:
+    if trend.verdict in (
+        VERDICT_APPEARED, VERDICT_REMOVED, VERDICT_INSUFFICIENT
+    ):
+        return "-"
+    change = trend.change_percent
+    if not math.isfinite(change):
+        return "new activity"
+    sign = "+" if change >= 0 else ""
+    return f"{sign}{change:.1f}%"
+
+
+def trend_rows(trends: Sequence[MetricTrend]) -> List[List[str]]:
+    """Shared tabular shape: metric, spark, last, median, change, verdict."""
+    rows = []
+    for trend in trends:
+        values = [point.value for point in trend.points]
+        rows.append(
+            [
+                trend.metric,
+                sparkline(values),
+                _format_value(trend.last_value),
+                _format_value(trend.baseline),
+                _format_change(trend),
+                trend.verdict
+                + (
+                    f" @#{trend.points[trend.changepoint].seq}"
+                    if trend.changepoint is not None
+                    else ""
+                ),
+            ]
+        )
+    return rows
+
+
+_HEADER = ["metric", "trend", "last", "median", "change", "verdict"]
+
+
+def render_trend_text(trends: Sequence[MetricTrend], label: str = "") -> str:
+    """Aligned plain-text trend table."""
+    rows = trend_rows(trends)
+    widths = [
+        max([len(_HEADER[col])] + [len(row[col]) for row in rows])
+        for col in range(len(_HEADER))
+    ]
+    lines = []
+    if label:
+        runs = len(trends[0].points) if trends else 0
+        lines.append(f"trend: {label} ({runs} runs)")
+    lines.append(
+        "  ".join(
+            _HEADER[col].ljust(widths[col]) for col in range(len(_HEADER))
+        ).rstrip()
+    )
+    for row in rows:
+        lines.append(
+            "  ".join(
+                row[col].ljust(widths[col]) for col in range(len(_HEADER))
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_trend_markdown(
+    trends: Sequence[MetricTrend], label: str = ""
+) -> str:
+    """Markdown report (the BENCH-history table)."""
+    lines = []
+    if label:
+        runs = len(trends[0].points) if trends else 0
+        lines.append(f"# Perf trend: {label}")
+        lines.append("")
+        lines.append(f"Last {runs} ledger records, newest rightmost.")
+        lines.append("")
+    lines.append("| " + " | ".join(_HEADER) + " |")
+    lines.append("|" + "|".join(" --- " for _ in _HEADER) + "|")
+    for row in trend_rows(trends):
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_trend_html(trends: Sequence[MetricTrend], label: str = "") -> str:
+    """A minimal self-contained HTML report."""
+    def esc(text: str) -> str:
+        return (
+            text.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+
+    rows_html = []
+    for row in trend_rows(trends):
+        verdict = row[-1]
+        color = (
+            "#b00020"
+            if verdict.startswith(VERDICT_REGRESSION)
+            else "#1a7f37"
+            if verdict.startswith(VERDICT_OK)
+            else "#6a6a6a"
+        )
+        cells = "".join(f"<td>{esc(cell)}</td>" for cell in row[:-1])
+        rows_html.append(
+            f'<tr>{cells}<td style="color:{color}">{esc(verdict)}</td></tr>'
+        )
+    head = "".join(f"<th>{esc(name)}</th>" for name in _HEADER)
+    title = esc(f"Perf trend: {label}" if label else "Perf trend")
+    return (
+        "<!DOCTYPE html>\n"
+        f"<html><head><meta charset='utf-8'><title>{title}</title>"
+        "<style>body{font-family:monospace}table{border-collapse:collapse}"
+        "td,th{border:1px solid #ccc;padding:4px 8px;text-align:left}"
+        "</style></head>\n"
+        f"<body><h1>{title}</h1>\n<table><tr>{head}</tr>\n"
+        + "\n".join(rows_html)
+        + "\n</table></body></html>\n"
+    )
+
+
+def trends_to_document(
+    trends: Sequence[MetricTrend], label: str = ""
+) -> Dict[str, object]:
+    """JSON document for ``trend --format json``."""
+    return {
+        "kind": "repro.obs.trend",
+        "label": label,
+        "metrics": [trend.to_dict() for trend in trends],
+    }
+
+
+def analyse_store(
+    store,
+    pattern: str,
+    label: Optional[str] = None,
+    last: int = 10,
+    window: int = 5,
+    threshold: Optional[float] = None,
+) -> Tuple[List["StoreEntry"], List[MetricTrend]]:
+    """Load the last N records for ``label`` and compute their trends."""
+    entries = store.last(last, label)
+    records = [store.load(entry.id) for entry in entries]
+    return entries, compute_trends(
+        entries, records, pattern, window=window, threshold=threshold
+    )

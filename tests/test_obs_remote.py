@@ -478,6 +478,7 @@ class TestRunnerMergeDeterminism:
         "--metrics-out", "merged.metrics.json",
         "--flamegraph", "merged.folded",
         "--manifest", "run.json",
+        "--store", "ledger",
     ]
 
     def _run(self, tmp_path, monkeypatch, tag, jobs):
@@ -515,6 +516,18 @@ class TestRunnerMergeDeterminism:
         }
         assert fingerprints["serial"] == fingerprints["par_a"]
         assert fingerprints["par_a"] == fingerprints["par_b"]
+
+        # The run ledger is content-addressed over the modelled outcome:
+        # every run of the same cells lands on the same record id, at
+        # any job count (jobs/wall clock never enter the hash).
+        from repro.obs.store import RunStore
+
+        record_ids = {}
+        for tag, workdir in runs.items():
+            (entry,) = RunStore(workdir / "ledger").entries()
+            record_ids[tag] = entry.id
+        assert record_ids["serial"] == record_ids["par_a"]
+        assert record_ids["par_a"] == record_ids["par_b"]
 
         # The merged trace carries one labelled track per cell and the
         # metrics family carries per-cell + fleet snapshots that feed

@@ -1,0 +1,528 @@
+"""Tests for the run ledger (``repro.obs.store``) and trend analytics.
+
+Covers the ISSUE 8 acceptance criteria: content-hashed record ids
+(same run -> same id, differing seed/config -> different id), the
+``store:`` diff operands, ``--strict-new`` gating, and a trend gate
+that exits non-zero on an injected >= threshold regression across a
+3-record synthetic ledger.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.registry import (
+    REGISTRY,
+    MetricsSnapshot,
+    write_snapshots,
+)
+from repro.obs.cli import main as obs_main
+from repro.obs.store import (
+    RunRecord,
+    RunStore,
+    default_store_root,
+    load_operand,
+    parse_store_operand,
+    record_id,
+    snapshot_documents,
+)
+from repro.obs.trend import (
+    VERDICT_APPEARED,
+    VERDICT_INSUFFICIENT,
+    VERDICT_OK,
+    VERDICT_REGRESSION,
+    VERDICT_REMOVED,
+    compute_trends,
+    gate,
+    render_trend_html,
+    render_trend_markdown,
+    render_trend_text,
+    rolling_medians,
+    sparkline,
+)
+
+METRIC = "unit.store_value"
+OTHER = "unit.store_other"
+
+
+def _snapshot(label, value, metric=METRIC):
+    REGISTRY.gauge(metric)
+    snapshot = MetricsSnapshot(label)
+    snapshot.set(metric, value)
+    return snapshot
+
+
+def _record(value=1.0, seed=0, label="unit", metric=METRIC):
+    return RunRecord.from_snapshots(
+        label,
+        {"unit": _snapshot("unit", value, metric)},
+        config={"experiment": label, "seeds": [seed]},
+    )
+
+
+class TestRecordIds:
+    def test_same_content_same_id(self):
+        assert _record().id == _record().id
+
+    def test_differing_seed_changes_id(self):
+        assert _record(seed=0).id != _record(seed=1).id
+
+    def test_differing_value_changes_id(self):
+        assert _record(value=1.0).id != _record(value=2.0).id
+
+    def test_config_insertion_order_is_masked(self):
+        base = _record()
+        reordered = RunRecord(
+            label=base.label,
+            snapshots=base.snapshots,
+            config={"seeds": [0], "experiment": "unit"},
+        )
+        assert base.id == reordered.id
+
+    def test_id_is_hash_of_canonical_bytes(self):
+        record = _record()
+        assert record.id == record_id(record.to_record())
+        assert len(record.id) == 16
+
+    def test_round_trip(self):
+        record = _record(value=3.5)
+        clone = RunRecord.from_dict(
+            json.loads(json.dumps(record.to_record()))
+        )
+        assert clone.id == record.id
+        assert clone.member_snapshot().get(METRIC) == 3.5
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ReproError, match="not a run record"):
+            RunRecord.from_dict({"kind": "something.else"})
+
+
+class TestRunStore:
+    def test_add_list_load(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        entry = store.add(_record(value=2.0))
+        assert entry.seq == 0
+        assert entry.metrics == 1
+        assert [e.id for e in store.entries()] == [entry.id]
+        loaded = store.load(entry.id)
+        assert loaded.member_snapshot().get(METRIC) == 2.0
+
+    def test_add_is_idempotent_per_content(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        first = store.add(_record())
+        second = store.add(_record())
+        assert first.id == second.id
+        assert len(store.entries()) == 2
+        assert len(list(store.records_dir.glob("*.json"))) == 1
+
+    def test_resolve_unique_prefix(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        entry = store.add(_record())
+        assert store.resolve(entry.id[:6]) == entry.id
+        with pytest.raises(ReproError, match="no record matching"):
+            store.resolve("ffff")
+
+    def test_load_detects_in_place_modification(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        entry = store.add(_record())
+        path = store.record_path(entry.id)
+        doc = json.loads(path.read_text())
+        doc["notes"] = "tampered"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ReproError, match="modified in place"):
+            store.load(entry.id)
+
+    def test_label_filter_and_last(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        for value in (1.0, 2.0, 3.0):
+            store.add(_record(value=value))
+        store.add(_record(value=9.0, label="other"))
+        unit = store.last(2, "unit")
+        assert len(unit) == 2
+        assert [e.label for e in unit] == ["unit", "unit"]
+
+    def test_gc_keeps_newest_per_label(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        entries = [store.add(_record(value=v)) for v in (1.0, 2.0, 3.0)]
+        other = store.add(_record(value=5.0, label="other"))
+        removed = store.gc(keep=1)
+        assert set(removed) == {entries[0].id, entries[1].id}
+        survivors = store.entries()
+        assert [e.id for e in survivors] == [entries[2].id, other.id]
+        # seq values survive the index rewrite.
+        assert [e.seq for e in survivors] == [2, 3]
+        assert not store.record_path(entries[0].id).exists()
+        assert store.record_path(entries[2].id).exists()
+
+    def test_gc_keeps_shared_record_files(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        first = store.add(_record())
+        store.add(_record())  # same content, second index line
+        assert store.gc(keep=1) == []
+        assert store.record_path(first.id).exists()
+        assert len(store.entries()) == 1
+
+    def test_default_root_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-ledger"))
+        assert default_store_root() == tmp_path / "env-ledger"
+        store = RunStore()
+        entry = store.add(_record())
+        assert (tmp_path / "env-ledger" / "records").is_dir()
+        assert store.load(entry.id).label == "unit"
+
+    def test_check_writable_reports_unwritable_root(self, tmp_path):
+        store = RunStore("/proc/definitely/not/writable")
+        assert store.check_writable() is not None
+
+
+class TestOperands:
+    def test_parse_store_operand(self):
+        assert parse_store_operand("store:abcd") == ("abcd", "")
+        assert parse_store_operand("store:abcd#member") == (
+            "abcd",
+            "member",
+        )
+        with pytest.raises(ReproError, match="malformed store operand"):
+            parse_store_operand("store:")
+
+    def test_load_operand_dispatches(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        entry = store.add(_record(value=4.0))
+        via_store = load_operand(
+            f"store:{entry.id}", store_root=store.root
+        )
+        assert via_store.get(METRIC) == 4.0
+        path = tmp_path / "snap.json"
+        write_snapshots(path, {"unit": _snapshot("unit", 7.0)})
+        assert load_operand(str(path)).get(METRIC) == 7.0
+
+    def test_member_selection_required_for_families(self, tmp_path):
+        store = RunStore(tmp_path / "ledger")
+        record = RunRecord.from_snapshots(
+            "unit",
+            {
+                "a": _snapshot("a", 1.0),
+                "b": _snapshot("b", 2.0),
+            },
+        )
+        entry = store.add(record)
+        with pytest.raises(ReproError, match="pick"):
+            store.snapshot(entry.id)
+        assert store.snapshot(entry.id, "b").get(METRIC) == 2.0
+
+    def test_snapshot_documents_single_and_family(self, tmp_path):
+        single = tmp_path / "single.json"
+        write_snapshots(single, {"solo": _snapshot("solo", 1.0)})
+        docs = snapshot_documents(single)
+        assert list(docs) == ["solo"]
+        family = tmp_path / "family.json"
+        write_snapshots(
+            family,
+            {"a": _snapshot("a", 1.0), "b": _snapshot("b", 2.0)},
+        )
+        assert sorted(snapshot_documents(family)) == ["a", "b"]
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"kind": "nope"}')
+        with pytest.raises(ReproError, match="not a metrics snapshot"):
+            snapshot_documents(bogus)
+
+
+class TestStoreCli:
+    def _ledger_with(self, tmp_path, values, metric=METRIC):
+        store = RunStore(tmp_path / "ledger")
+        for value in values:
+            store.add(_record(value=value, metric=metric))
+        return store
+
+    def test_add_list_show_round_trip(self, tmp_path, capsys):
+        snap = tmp_path / "unit.json"
+        write_snapshots(snap, {"unit": _snapshot("unit", 2.5)})
+        root = tmp_path / "ledger"
+        assert (
+            obs_main(
+                [
+                    "store", "add", str(snap),
+                    "--label", "unit",
+                    "--git-rev", "deadbeef",
+                    "--store", str(root),
+                ]
+            )
+            == 0
+        )
+        added = capsys.readouterr().out
+        assert "added" in added
+        rid = added.split()[1]
+        assert obs_main(["store", "list", "--store", str(root)]) == 0
+        listing = capsys.readouterr().out
+        assert rid in listing and "deadbeef" in listing
+        assert obs_main(["store", "show", rid, "--store", str(root)]) == 0
+        shown = capsys.readouterr().out
+        assert f"{METRIC} = 2.5" in shown
+        assert (
+            obs_main(
+                ["store", "show", rid, "--json", "--store", str(root)]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["label"] == "unit"
+
+    def test_default_label_is_file_stem(self, tmp_path, capsys):
+        snap = tmp_path / "figure6.json"
+        write_snapshots(snap, {"figure6": _snapshot("figure6", 1.0)})
+        root = tmp_path / "ledger"
+        assert (
+            obs_main(["store", "add", str(snap), "--store", str(root)])
+            == 0
+        )
+        capsys.readouterr()
+        assert RunStore(root).entries()[0].label == "figure6"
+
+    def test_gc_cli(self, tmp_path, capsys):
+        store = self._ledger_with(tmp_path, [1.0, 2.0, 3.0])
+        assert (
+            obs_main(
+                ["store", "gc", "--keep", "1", "--store", str(store.root)]
+            )
+            == 0
+        )
+        assert "removed 2 record(s)" in capsys.readouterr().out
+        assert len(store.entries()) == 1
+
+    def test_diff_store_operands_gate(self, tmp_path, capsys):
+        store = self._ledger_with(tmp_path, [100.0, 150.0])
+        a, b = [entry.id for entry in store.entries()]
+        assert (
+            obs_main(
+                [
+                    "diff", f"store:{a}", f"store:{b}",
+                    "--threshold", "10",
+                    "--store", str(store.root),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert (
+            obs_main(
+                [
+                    "diff", f"store:{a}", f"store:{b}",
+                    "--threshold", "60",
+                    "--store", str(store.root),
+                ]
+            )
+            == 0
+        )
+
+    def test_diff_strict_new_gates_appeared_metrics(self, tmp_path, capsys):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        write_snapshots(before, {"unit": _snapshot("unit", 1.0)})
+        extra = _snapshot("unit", 1.0)
+        REGISTRY.gauge(OTHER)
+        extra.set(OTHER, 5.0)
+        write_snapshots(after, {"unit": extra})
+        # Appeared metrics never trip the plain threshold gate...
+        assert (
+            obs_main([
+                "diff", str(before), str(after), "--threshold", "0",
+            ])
+            == 0
+        )
+        capsys.readouterr()
+        # ... but do under --strict-new, including github annotations.
+        assert (
+            obs_main(
+                [
+                    "diff", str(before), str(after),
+                    "--threshold", "0",
+                    "--strict-new",
+                    "--format", "github",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "STRICT-NEW" in out
+        assert "::error" in out and OTHER in out
+
+    def test_strict_new_requires_threshold(self, tmp_path):
+        before = tmp_path / "before.json"
+        write_snapshots(before, {"unit": _snapshot("unit", 1.0)})
+        with pytest.raises(SystemExit):
+            obs_main(["diff", str(before), str(before), "--strict-new"])
+
+
+class TestTrendAnalytics:
+    def test_rolling_medians(self):
+        assert rolling_medians([1.0, 2.0, 3.0, 4.0], window=2) == [
+            None,
+            1.0,
+            1.5,
+            2.5,
+        ]
+
+    def test_rolling_medians_skip_absent(self):
+        assert rolling_medians([1.0, None, 3.0], window=5) == [
+            None,
+            1.0,
+            1.0,
+        ]
+
+    def _trend(self, values, threshold=None, metric=METRIC):
+        store_entries = []
+        records = []
+        for index, value in enumerate(values):
+            record = _record(value=value, seed=index, metric=metric)
+            records.append(record)
+            store_entries.append(
+                type(
+                    "E", (), {"seq": index, "id": record.id}
+                )()
+            )
+        return compute_trends(
+            store_entries, records, "", threshold=threshold
+        )
+
+    def test_steady_series_is_ok(self):
+        (trend,) = self._trend([10.0, 10.0, 10.0], threshold=5.0)
+        assert trend.verdict == VERDICT_OK
+        assert trend.change_percent == 0.0
+        assert trend.changepoint is None
+
+    def test_regression_with_changepoint(self):
+        (trend,) = self._trend([100.0, 100.0, 150.0], threshold=10.0)
+        assert trend.verdict == VERDICT_REGRESSION
+        assert trend.change_percent == pytest.approx(50.0)
+        assert trend.changepoint == 2
+        assert gate([trend]) == [trend]
+
+    def test_direction_agnostic(self):
+        (trend,) = self._trend([100.0, 100.0, 60.0], threshold=10.0)
+        assert trend.verdict == VERDICT_REGRESSION
+
+    def test_single_record_is_insufficient(self):
+        (trend,) = self._trend([10.0], threshold=5.0)
+        assert trend.verdict == VERDICT_INSUFFICIENT
+
+    def test_appeared_and_removed(self, tmp_path):
+        old = _record(value=1.0, seed=0)
+        new = _record(value=2.0, seed=1, metric=OTHER)
+        entries = [
+            type("E", (), {"seq": 0, "id": old.id})(),
+            type("E", (), {"seq": 1, "id": new.id})(),
+        ]
+        trends = {
+            t.metric: t
+            for t in compute_trends(entries, [old, new], "", threshold=5.0)
+        }
+        assert trends[METRIC].verdict == VERDICT_REMOVED
+        assert trends[OTHER].verdict == VERDICT_APPEARED
+        assert gate(list(trends.values())) == []
+        assert len(gate(list(trends.values()), strict_new=True)) == 2
+
+    def test_glob_filter(self):
+        trends = self._trend([1.0, 1.0], threshold=5.0)
+        assert [t.metric for t in trends] == [METRIC]
+        assert compute_trends([], [], "nomatch.*") == []
+
+    def test_sparkline_and_renderers(self):
+        assert sparkline([1.0, None, 8.0]) == "▁·█"
+        (trend,) = self._trend([100.0, 100.0, 150.0], threshold=10.0)
+        text = render_trend_text([trend], "unit")
+        assert METRIC in text and "regression" in text
+        markdown = render_trend_markdown([trend], "unit")
+        assert markdown.startswith("# Perf trend: unit")
+        html = render_trend_html([trend], "unit")
+        assert html.startswith("<!DOCTYPE html>")
+        assert METRIC in html
+
+
+class TestTrendCli:
+    def _ledger(self, tmp_path, values):
+        store = RunStore(tmp_path / "ledger")
+        for index, value in enumerate(values):
+            store.add(_record(value=value, seed=index))
+        return store
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        """The acceptance criterion: a >= threshold regression across a
+        3-record synthetic ledger makes the trend gate exit 1."""
+        store = self._ledger(tmp_path, [100.0, 100.0, 150.0])
+        assert (
+            obs_main(
+                [
+                    "trend", "unit.*",
+                    "--label", "unit",
+                    "--threshold", "10",
+                    "--store", str(store.root),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "TREND:" in out and "regression" in out
+
+    def test_steady_ledger_passes(self, tmp_path, capsys):
+        store = self._ledger(tmp_path, [100.0, 100.0, 101.0])
+        assert (
+            obs_main(
+                [
+                    "trend", "unit.*",
+                    "--label", "unit",
+                    "--threshold", "10",
+                    "--store", str(store.root),
+                ]
+            )
+            == 0
+        )
+        assert "ok:" in capsys.readouterr().out
+
+    def test_github_format_annotates(self, tmp_path, capsys):
+        store = self._ledger(tmp_path, [100.0, 100.0, 150.0])
+        assert (
+            obs_main(
+                [
+                    "trend", "unit.*",
+                    "--label", "unit",
+                    "--threshold", "10",
+                    "--format", "github",
+                    "--store", str(store.root),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "::error" in out and "perf trend" in out
+
+    def test_report_file_output(self, tmp_path, capsys):
+        store = self._ledger(tmp_path, [100.0, 100.0, 150.0])
+        report = tmp_path / "trend.html"
+        assert (
+            obs_main(
+                [
+                    "trend", "unit.*",
+                    "--label", "unit",
+                    "--format", "html",
+                    "-o", str(report),
+                    "--store", str(store.root),
+                ]
+            )
+            == 0
+        )
+        assert report.read_text().startswith("<!DOCTYPE html>")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_empty_store_is_a_no_op(self, tmp_path, capsys):
+        assert (
+            obs_main(
+                [
+                    "trend", "unit.*",
+                    "--store", str(tmp_path / "empty"),
+                ]
+            )
+            == 0
+        )
+        assert "no records" in capsys.readouterr().out

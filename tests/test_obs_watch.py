@@ -1,0 +1,342 @@
+"""Tests for the live run watch (``repro.obs.watch``).
+
+The board is a pure state machine over manifest events, so every test
+here drives it from canned JSONL -- no simulation, no subprocesses --
+and the tail-follower runs with an injected sleep/clock.
+"""
+
+import io
+import json
+
+from repro.obs.histogram import Log2Histogram
+from repro.obs.watch import (
+    CLEAR_FRAME,
+    STATE_CRASHED,
+    STATE_FINISHED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    CellView,
+    WatchBoard,
+    iter_manifest_events,
+    snapshot_rollup,
+    watch_manifest,
+    write_frame,
+)
+
+
+def _histogram(values):
+    histogram = Log2Histogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+def _snapshot_doc(metrics):
+    """Raw snapshot-document shape: just the ``metrics`` mapping."""
+    return {"metrics": metrics}
+
+
+def _scalar(value):
+    return {"value": value}
+
+
+class TestSnapshotRollup:
+    def test_sums_perf_counters_across_members(self):
+        docs = {
+            "a": _snapshot_doc(
+                {"perf.cycles": _scalar(100), "perf.accesses": _scalar(10)}
+            ),
+            "b": _snapshot_doc(
+                {"perf.cycles": _scalar(50), "perf.accesses": _scalar(5)}
+            ),
+        }
+        rollup = snapshot_rollup(docs)
+        assert rollup["cycles"] == 150
+        assert rollup["accesses"] == 15
+        assert "fault_latencies" not in rollup
+
+    def test_prefers_perf_latencies_with_samples(self):
+        docs = {
+            "a": _snapshot_doc(
+                {
+                    "perf.fault_latencies": {
+                        "value": _histogram([100, 200]).to_dict()
+                    },
+                    "kernel.fault_latencies": {
+                        "value": _histogram([1]).to_dict()
+                    },
+                }
+            )
+        }
+        rollup = snapshot_rollup(docs)
+        merged = Log2Histogram.from_dict(rollup["fault_latencies"])
+        assert merged.count == 2
+
+    def test_falls_back_to_kernel_latencies(self):
+        docs = {
+            "a": _snapshot_doc(
+                {
+                    "perf.fault_latencies": {
+                        "value": Log2Histogram().to_dict()
+                    },
+                    "kernel.fault_latencies": {
+                        "value": _histogram([100, 200, 400]).to_dict()
+                    },
+                }
+            )
+        }
+        rollup = snapshot_rollup(docs)
+        merged = Log2Histogram.from_dict(rollup["fault_latencies"])
+        assert merged.count == 3
+        assert "cycles" not in rollup  # no perf counters were present
+
+    def test_empty_snapshots_roll_up_to_nothing(self):
+        assert snapshot_rollup({}) == {}
+        assert snapshot_rollup({"a": _snapshot_doc({})}) == {}
+
+
+def _manifest_events(crash=False):
+    """A canned two-cell figure6-style manifest event stream."""
+    latencies = _histogram([100, 200, 400, 800]).to_dict()
+    events = [
+        {
+            "event": "run_start",
+            "experiments": ["figure6"],
+            "seeds": [0, 1],
+            "jobs": 2,
+            "capture": ["metrics"],
+        },
+        {"event": "submit", "experiment": "figure6", "seed": 0, "index": 0},
+        {"event": "submit", "experiment": "figure6", "seed": 1, "index": 1},
+        {
+            "event": "start",
+            "experiment": "figure6",
+            "seed": 0,
+            "pid": 1234,
+            "wall_time": 10.0,
+        },
+        {
+            "event": "finish",
+            "experiment": "figure6",
+            "seed": 0,
+            "wall_seconds": 2.0,
+            "modelled_cycles": 5_000_000,
+            "trace_events": 42,
+            "perf": {
+                "cycles": 4_000_000,
+                "accesses": 80_000,
+                "fault_latencies": latencies,
+            },
+        },
+        {
+            "event": "start",
+            "experiment": "figure6",
+            "seed": 1,
+            "pid": 1235,
+            "wall_time": 12.0,
+        },
+    ]
+    if crash:
+        events.append(
+            {
+                "event": "crash",
+                "experiment": "figure6",
+                "seed": 1,
+                "error": "boom",
+            }
+        )
+        events.append({"event": "run_end", "status": "error"})
+    else:
+        events.append(
+            {
+                "event": "finish",
+                "experiment": "figure6",
+                "seed": 1,
+                "wall_seconds": 1.0,
+                "perf": {"cycles": 3_000_000, "accesses": 30_000},
+            }
+        )
+        events.append({"event": "merge", "merged_events": 84})
+        events.append({"event": "run_end", "status": "ok"})
+    return events
+
+
+def _write_manifest(path, events, partial_line=None):
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+        if partial_line is not None:
+            handle.write(partial_line)
+
+
+class TestWatchBoard:
+    def test_board_folds_the_event_stream(self):
+        board = WatchBoard()
+        for event in _manifest_events():
+            board.apply(event)
+        assert board.experiments == ["figure6"]
+        assert board.seeds == [0, 1]
+        assert board.jobs == 2
+        assert board.status == "ok"
+        assert board.merged_events == 84
+        assert board.done
+        counts = board.counts()
+        assert counts[STATE_FINISHED] == 2
+        assert counts[STATE_QUEUED] == counts[STATE_RUNNING] == 0
+        first, second = board.cells
+        assert first.label == "figure6[seed=0]"
+        # The capsule clock wins over the perf roll-up cycles.
+        assert first.modelled_cycles == 5_000_000
+        assert first.accesses == 80_000
+        assert first.ops_per_sec() == 40_000.0
+        assert first.fault_p99 is not None and first.fault_p99 > 0
+        # Without a capsule clock the roll-up supplies the cycles.
+        assert second.modelled_cycles == 3_000_000
+
+    def test_running_cell_uses_the_live_clock(self):
+        board = WatchBoard()
+        for event in _manifest_events()[:4]:  # through seed 0's start
+            board.apply(event)
+        cell, queued = board.cells
+        assert queued.state == STATE_QUEUED
+        assert cell.state == STATE_RUNNING
+        assert cell.wall(now=13.0) == 3.0
+        assert cell.wall() is None  # no clock, no elapsed column
+
+    def test_crash_marks_the_cell_and_the_run(self):
+        board = WatchBoard()
+        for event in _manifest_events(crash=True):
+            board.apply(event)
+        assert board.status == "error"
+        assert board.counts()[STATE_CRASHED] == 1
+        crashed = board.cells[1]
+        assert crashed.state == STATE_CRASHED
+        assert crashed.error == "boom"
+
+    def test_render_is_a_fixed_width_frame(self):
+        board = WatchBoard()
+        for event in _manifest_events():
+            board.apply(event)
+        frame = board.render()
+        lines = frame.splitlines()
+        assert lines[0] == "run figure6 seeds=0,1 jobs=2  [2/2 cells, ok]"
+        assert lines[1].startswith("cell")
+        assert "figure6[seed=0]" in lines[2]
+        assert "5.0" in lines[2]  # Mcycles column
+        assert "40.0k" in lines[2]  # ops/s column
+        assert lines[-1] == (
+            "queued 0 | running 0 | finished 2 | crashed 0 "
+            "| merged events 84"
+        )
+
+    def test_render_before_any_event(self):
+        frame = WatchBoard().render()
+        assert frame.splitlines()[0] == "run  [0/0 cells]"
+
+
+class TestIterManifestEvents:
+    def test_no_follow_drains_and_stops(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        events = _manifest_events()
+        _write_manifest(path, events)
+        seen = list(iter_manifest_events(path, follow=False))
+        assert len(seen) == len(events)
+        assert seen[-1]["event"] == "run_end"
+
+    def test_partial_line_is_not_consumed(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        events = _manifest_events()[:3]
+        _write_manifest(
+            path, events, partial_line='{"event": "sta'
+        )
+        seen = list(iter_manifest_events(path, follow=False))
+        assert [e["event"] for e in seen] == [
+            "run_start", "submit", "submit",
+        ]
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        path.write_text('not json\n{"event": "run_end", "status": "ok"}\n')
+        seen = list(iter_manifest_events(path, follow=False))
+        assert [e["event"] for e in seen] == ["run_end"]
+
+    def test_follow_picks_up_appended_rows(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        events = _manifest_events()
+        split = 4
+        _write_manifest(path, events[:split])
+
+        def fake_sleep(_interval):
+            # The writer flushes the rest of the run between polls.
+            _write_manifest(path, events)
+
+        seen = list(
+            iter_manifest_events(path, follow=True, sleep=fake_sleep)
+        )
+        assert len(seen) == len(events)
+        assert seen[-1]["event"] == "run_end"
+
+    def test_follow_waits_for_the_file_then_times_out(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        ticks = iter(range(100))
+
+        seen = list(
+            iter_manifest_events(
+                path,
+                follow=True,
+                timeout=3.0,
+                sleep=lambda _i: None,
+                clock=lambda: float(next(ticks)),
+            )
+        )
+        assert seen == []
+
+
+class TestWatchManifest:
+    def test_clean_run_exits_zero(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        _write_manifest(path, _manifest_events())
+        stream = io.StringIO()
+        assert watch_manifest(path, stream, follow=False) == 0
+        output = stream.getvalue()
+        # One frame per event, separated by blank lines (no ANSI off-TTY).
+        assert CLEAR_FRAME not in output
+        assert output.count("run figure6") == len(_manifest_events())
+        assert "finished 2" in output
+
+    def test_crashed_run_exits_nonzero(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        _write_manifest(path, _manifest_events(crash=True))
+        stream = io.StringIO()
+        assert watch_manifest(path, stream, follow=False) == 1
+        assert "crashed 1" in stream.getvalue()
+
+    def test_empty_manifest_renders_one_frame(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        stream = io.StringIO()
+        assert watch_manifest(path, stream, follow=False) == 0
+        assert "run  [0/0 cells]" in stream.getvalue()
+
+    def test_ansi_frames_clear_the_screen(self, tmp_path):
+        path = tmp_path / "run.manifest.jsonl"
+        _write_manifest(path, _manifest_events())
+        stream = io.StringIO()
+        assert watch_manifest(path, stream, follow=False, ansi=True) == 0
+        assert stream.getvalue().startswith(CLEAR_FRAME)
+
+    def test_write_frame_modes(self):
+        stream = io.StringIO()
+        write_frame(stream, "frame", ansi=False)
+        assert stream.getvalue() == "frame\n\n"
+        stream = io.StringIO()
+        write_frame(stream, "frame", ansi=True)
+        assert stream.getvalue() == CLEAR_FRAME + "frame\n"
+
+    def test_cli_no_follow(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+
+        path = tmp_path / "run.manifest.jsonl"
+        _write_manifest(path, _manifest_events())
+        assert obs_main(["watch", str(path), "--no-follow"]) == 0
+        assert "finished 2" in capsys.readouterr().out
