@@ -710,6 +710,14 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         status = 1
     merged = merge_capsules(capsule_entries) if capture is not None else None
+    if merged is not None and merged.profile is not None:
+        # Embed the merged attribution tree into the experiment's own
+        # snapshots so --metrics-out files and --store records carry it
+        # (and downstream consumers -- obs diff rankings, the lint
+        # pass's --profile ranking -- can load it from either).
+        for label in sorted(snapshots):
+            if snapshots[label].profile is None:
+                snapshots[label].profile = merged.profile
     if args.trace:
         sink = JsonlSink(args.trace)
         for event in merged.events if merged is not None else []:

@@ -35,10 +35,16 @@ from .core import (
     register,
     register_alias,
 )
+from .effects import LATTICE_EFFECTS, EffectAnalysis, classify_call, widens
 from .flow import Space, compatible, space_of_name
 from . import rules  # noqa: F401  (imported for rule registration)
+from .rules.hotpath import HOT_ROOTS, HotRoot, hot_cone
 
 __all__ = [
+    "EffectAnalysis",
+    "HOT_ROOTS",
+    "HotRoot",
+    "LATTICE_EFFECTS",
     "JSON_SCHEMA_VERSION",
     "RULE_ALIASES",
     "RULES",
@@ -51,11 +57,14 @@ __all__ = [
     "ProgramRule",
     "Rule",
     "canonical_rule_name",
+    "classify_call",
     "collect_files",
+    "hot_cone",
     "iter_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
     "register",
     "register_alias",
+    "widens",
 ]

@@ -1,0 +1,268 @@
+"""Interprocedural effect inference over the lint call graph.
+
+Every function in the linted program gets an *effect set*: a subset of a
+small, fixed lattice describing what executing it may do beyond reading
+its inputs --
+
+``alloc``
+    Constructs a Python object: list/dict/set/tuple literals,
+    comprehensions, f-strings, and calls to allocating builtins
+    (``list``, ``sorted``, ``str.join``, ...).
+``global-mutation``
+    Mutates module-level state (``global`` assignment, subscript store
+    or in-place method call on a module-level mutable).
+``rng``
+    Draws from a random source (``random.random``, ``rng.choice``, ...).
+``wallclock``
+    Reads host time (``time.perf_counter``, ``datetime.now``, ...) --
+    host time leaking into the model is a determinism hazard.
+``io``
+    Touches the outside world (``open``/``print``, ``json.dump``,
+    ``handle.write``/``flush``, path writes).
+``raise``
+    Contains an explicit ``raise`` statement.
+``trace``
+    Fires an observability hook (``tracepoint.emit``,
+    ``TRACER.advance``, ``PROFILER.add``).
+``unknown``
+    Calls something the call graph cannot resolve and the allowlist
+    below does not recognise -- the *widening* element, so an effect set
+    without it is a positive guarantee, not an absence of evidence.
+
+A function whose effect set is empty is *pure* in this lattice's sense:
+it provably performs none of the above, transitively.
+
+Direct effects are recorded per call/literal site during per-file fact
+extraction (:mod:`repro.lint.ipa.facts` calls :func:`classify_call`);
+the transitive closure over resolved call-graph edges is the fixed
+point computed by :attr:`repro.lint.ipa.Summaries.effects`. This module
+owns the lattice, the name-based call classification, and the
+:class:`EffectAnalysis` convenience front-end the tests and the
+``hotpath`` rules build on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+# --------------------------------------------------------------------- #
+# The lattice
+# --------------------------------------------------------------------- #
+
+ALLOC = "alloc"
+GLOBAL_MUTATION = "global-mutation"
+RNG = "rng"
+WALLCLOCK = "wallclock"
+IO = "io"
+RAISE = "raise"
+TRACE = "trace"
+#: The widening element: an unresolved call to a name outside the
+#: allowlist. Present in the effect set, it demotes every *absence* of
+#: another effect from "proven" to "not observed".
+UNKNOWN = "unknown"
+
+#: Every element an effect set may contain, in display order.
+LATTICE_EFFECTS: Tuple[str, ...] = (
+    ALLOC, GLOBAL_MUTATION, RNG, WALLCLOCK, IO, RAISE, TRACE, UNKNOWN,
+)
+
+#: Site kind recorded for a ``try``/``except`` statement inside a loop.
+#: Not a propagated effect (a try block costs nothing at runtime unless
+#: it raises); kept in the site stream for the ``hotpath-try`` rule.
+TRY_IN_LOOP = "try"
+
+# --------------------------------------------------------------------- #
+# Name-based call classification
+# --------------------------------------------------------------------- #
+
+#: Builtins (and builtin-alikes) whose call allocates a fresh object.
+ALLOC_CALLS = frozenset(
+    {
+        "list", "dict", "set", "tuple", "frozenset", "str", "bytes",
+        "bytearray", "sorted", "format", "vars", "deepcopy",
+    }
+)
+
+#: Methods that allocate regardless of receiver (string building,
+#: container copies).
+ALLOC_METHODS = frozenset(
+    {"join", "copy", "split", "splitlines", "rsplit", "most_common"}
+)
+
+#: Random-drawing call names; seeding (``Random(seed)``) is excluded --
+#: constructing a seeded generator is deterministic.
+RNG_CALLS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "getrandbits", "randbytes",
+    }
+)
+
+#: Host-clock reads, unambiguous under any root.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+        "process_time", "process_time_ns", "time_ns",
+    }
+)
+
+#: Clock reads that need their root to disambiguate (``time.time()``
+#: yes, ``sim.time()`` no; ``datetime.now()`` yes).
+_WALLCLOCK_BY_ROOT = {
+    "time": frozenset({"time"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+#: Unconditional I/O call names.
+IO_CALLS = frozenset({"open", "print", "input"})
+
+#: Methods that perform I/O on any plausible receiver (file handles,
+#: paths, sockets).
+IO_METHODS = frozenset(
+    {
+        "write", "writelines", "flush", "write_text", "read_text",
+        "write_bytes", "read_bytes", "readline", "readlines", "mkdir",
+        "unlink", "rmdir",
+    }
+)
+
+#: ``json.dump(obj, fh)`` and friends: I/O when rooted at a serializer
+#: module (``dumps`` is pure string building -> alloc, handled below).
+_IO_BY_ROOT = {
+    "json": frozenset({"dump"}),
+    "pickle": frozenset({"dump"}),
+}
+
+#: Serializer string builders: allocation, not I/O.
+_ALLOC_BY_ROOT = {
+    "json": frozenset({"dumps"}),
+    "pickle": frozenset({"dumps"}),
+}
+
+#: Receiver tokens identifying the observability singletons.
+_TRACER_TOKENS = frozenset({"tracer"})
+_PROFILER_TOKENS = frozenset({"profiler"})
+
+#: Unresolved-call names that do NOT widen the effect set: pure builtins
+#: and the container/string methods ubiquitous in this codebase. A call
+#: to any name outside this list (and outside the effect-classified
+#: names above) that the call graph cannot resolve adds ``unknown``.
+PURE_CALLS = frozenset(
+    {
+        # builtins
+        "len", "range", "enumerate", "zip", "map", "filter", "iter",
+        "next", "reversed", "isinstance", "issubclass", "hasattr",
+        "getattr", "callable", "int", "float", "bool", "abs", "min",
+        "max", "sum", "round", "divmod", "pow", "hash", "id", "repr",
+        "ord", "chr", "super", "type", "all", "any", "slice",
+        # dict/list/set methods (mutation of *locals* is effect-free at
+        # this granularity; module-level mutation is caught separately
+        # through the global-mutation facts)
+        "get", "items", "keys", "values", "append", "extend", "insert",
+        "pop", "popitem", "clear", "update", "setdefault", "add",
+        "discard", "remove", "index", "count", "sort", "reverse",
+        # string predicates/transforms that return interned-ish values
+        "startswith", "endswith", "strip", "lstrip", "rstrip", "lower",
+        "upper", "replace", "partition", "rpartition", "encode",
+        "decode", "zfill", "casefold", "title",
+    }
+)
+
+
+def classify_call(
+    name: str, root: str, receiver_tokens: Iterable[str]
+) -> Optional[Tuple[str, str]]:
+    """Classify a call site by name alone: ``(effect, detail)`` or None.
+
+    ``name`` is the terminal callee name, ``root`` the leftmost
+    identifier of the callee chain, ``receiver_tokens`` the identifier
+    tokens of the receiver expression. Classification is deliberately
+    receiver-insensitive except where the bare name is ambiguous
+    (``time``, ``now``, ``dump``, ``advance``, ``add``).
+    """
+    tokens = frozenset(receiver_tokens)
+    if name == "emit":
+        return TRACE, "emit() tracepoint fire"
+    if name == "advance" and tokens & _TRACER_TOKENS:
+        return TRACE, "TRACER.advance()"
+    if name == "add" and tokens & _PROFILER_TOKENS:
+        return TRACE, "PROFILER.add()"
+    if name in RNG_CALLS:
+        return RNG, f"{name}() random draw"
+    if name in WALLCLOCK_CALLS or name in _WALLCLOCK_BY_ROOT.get(
+        root, frozenset()
+    ):
+        return WALLCLOCK, f"{name}() host-clock read"
+    if name in IO_CALLS or name in IO_METHODS or name in _IO_BY_ROOT.get(
+        root, frozenset()
+    ):
+        return IO, f"{name}() I/O"
+    if name in ALLOC_CALLS or name in ALLOC_METHODS or name in (
+        _ALLOC_BY_ROOT.get(root, frozenset())
+    ):
+        return ALLOC, f"{name}() call"
+    return None
+
+
+def widens(name: str) -> bool:
+    """True when an *unresolved* call to ``name`` must widen to unknown.
+
+    Effect-classified names never widen (their effect is already
+    recorded at the site); allowlisted pure names never widen; dunder
+    protocol hooks never widen (``__iter__`` and friends resolve through
+    the interpreter, not the call graph). Everything else does.
+    """
+    if not name:
+        return True  # opaque callee expression
+    if name in PURE_CALLS:
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    if classify_call(name, "", ()) is not None:
+        return False
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Front-end
+# --------------------------------------------------------------------- #
+
+class EffectAnalysis:
+    """Effect sets of one :class:`~repro.lint.ipa.Program`, queryable.
+
+    Thin front-end over :attr:`repro.lint.ipa.Summaries.effects` (the
+    fixed point lives there, next to the other summary lattices) for
+    callers that start from source or a program rather than a summary::
+
+        analysis = EffectAnalysis(program)
+        analysis.effects("repro.tlb.tlb::Tlb.lookup")  # frozenset()
+        analysis.pure("repro.tlb.tlb::Tlb._set_for")   # True
+    """
+
+    def __init__(self, program, summaries=None) -> None:
+        from .ipa import Summaries  # lazy: ipa imports this module
+
+        self.program = program
+        self.summaries = (
+            summaries if summaries is not None else Summaries(program)
+        )
+
+    @property
+    def sets(self) -> Dict[str, FrozenSet[str]]:
+        """fid -> transitively-closed effect set."""
+        return self.summaries.effects
+
+    def effects(self, fid: str) -> FrozenSet[str]:
+        return self.sets.get(fid, frozenset({UNKNOWN}))
+
+    def pure(self, fid: str) -> bool:
+        """True when ``fid`` provably has no effect in the lattice."""
+        return not self.effects(fid)
+
+    def describe(self, fid: str) -> str:
+        """Display-ordered rendering (``"alloc+trace"``, ``"pure"``)."""
+        effect_set = self.effects(fid)
+        if not effect_set:
+            return "pure"
+        return "+".join(e for e in LATTICE_EFFECTS if e in effect_set)

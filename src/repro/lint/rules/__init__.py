@@ -10,6 +10,7 @@ from . import (
     address_math,
     api_hygiene,
     determinism,
+    hotpath,
     ipa_address_flow,
     mirror_coherence,
     observability,
@@ -25,6 +26,7 @@ __all__ = [
     "api_hygiene",
     "determinism",
     "fastpath_invalidation",
+    "hotpath",
     "ipa_address_flow",
     "mirror_coherence",
     "observability",

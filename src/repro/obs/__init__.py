@@ -75,6 +75,7 @@ from .store import (
     StoreEntry,
     default_store_root,
     load_operand,
+    load_profile,
     manifest_sha,
     record_id,
     snapshot_documents,
@@ -137,6 +138,7 @@ __all__ = [
     "iter_manifest_events",
     "iter_trace",
     "load_operand",
+    "load_profile",
     "manifest_fingerprint",
     "manifest_sha",
     "merge_capsules",

@@ -85,7 +85,10 @@ class TranslationCache(dict):
 
     def install(self, vpn: int, hfn: int, ways: Dict[int, int], writable: bool = True) -> None:
         """Mirror ``vpn``'s L1 residency; called on L1 insert/promotion."""
-        self[vpn] = (hfn, ways, writable)
+        # The entry tuple is the cache's payload -- the one allocation
+        # the mirror design fundamentally needs (install runs on L1
+        # *misses*, not on the per-access hit probe).
+        self[vpn] = (hfn, ways, writable)  # simlint: disable=hotpath-alloc
 
     def invalidate(self, vpn: int) -> None:
         """Drop one page (L1 eviction, TLB shootdown, PTE mutation)."""

@@ -15,7 +15,7 @@ guarantee rests on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..config import TlbConfig
 from ..obs.trace import tracepoint
@@ -52,15 +52,20 @@ class Tlb:
         self.hits += 1
         return frame
 
-    def insert(self, vpn: int, frame: int) -> Optional[Tuple[int, int]]:
-        """Install ``vpn -> frame``; returns the evicted entry if any."""
+    def insert(self, vpn: int, frame: int) -> Optional[int]:
+        """Install ``vpn -> frame``; returns the evicted VPN if any.
+
+        Only the victim's VPN is reported (not a ``(vpn, frame)`` pair):
+        every consumer needs just the page to invalidate, and this
+        method sits on the TLB hit path, which must not allocate.
+        """
         entries = self._sets[vpn % self.num_sets]
         victim = None
         if vpn in entries:
             del entries[vpn]
         elif len(entries) >= self.config.associativity:
-            victim_vpn = next(iter(entries))
-            victim = (victim_vpn, entries.pop(victim_vpn))
+            victim = next(iter(entries))
+            del entries[victim]
         entries[vpn] = frame
         return victim
 
@@ -110,13 +115,15 @@ class TlbHierarchy:
         #: (``None`` when the fast path is disabled).
         self.xlate = xlate
 
-    def _mirror_l1(self, vpn: int, frame: int, victim) -> None:
+    def _mirror_l1(
+        self, vpn: int, frame: int, victim: Optional[int]
+    ) -> None:
         """Reflect an L1 install (and its eviction) into the mirror."""
         xc = self.xlate
         if xc is None:
             return
         if victim is not None:
-            xc.invalidate(victim[0])
+            xc.invalidate(victim)
         xc.install(
             vpn, frame, self.l1._sets[vpn % self.l1.num_sets], True
         )

@@ -25,7 +25,7 @@ class TestTlb:
         tlb.insert(b, 2)
         tlb.lookup(a)  # a MRU
         victim = tlb.insert(c, 3)
-        assert victim == (b, 2)
+        assert victim == b
         assert tlb.lookup(a) == 1
         assert tlb.lookup(b) is None
 
