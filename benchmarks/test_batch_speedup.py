@@ -1,0 +1,159 @@
+"""The batched engine core, measured: >= 2x over the per-op fast path.
+
+ISSUE acceptance for the batched trace-driven engine: on the same
+figure6-shaped scenario as ``test_speedup.py`` (whose measured window
+sits in the TLB-hit/L1-hit regime), resolving packed chunks against the
+translation mirror must deliver at least 2x application ops/sec over
+the per-op fast path (``REPRO_NO_BATCH=1``) and at least 5x over the
+``REPRO_NO_FASTPATH=1`` reference engine -- while all three modes
+produce byte-identical metrics snapshots, because batching is an
+implementation detail of the simulator, never a model change.
+
+Methodology matches ``test_speedup.py``: figure6 colocation recipe,
+pre-churn, warm-up, a 512-op measured slice, best-of-``REPEATS`` with
+the mode order rotating each repeat.
+
+Record fresh numbers in EXPERIMENTS.md after relevant engine changes:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_batch_speedup.py -s
+"""
+
+import json
+import os
+import time
+
+from conftest import emit_snapshots
+
+from repro.config import PlatformConfig
+from repro.experiments.common import OPS_PER_SLICE, PRECHURN_TURNS, WARMUP_TURNS
+from repro.metrics.collect import snapshot_simulation
+from repro.metrics.registry import REGISTRY, MetricsSnapshot
+from repro.metrics.report import Table
+from repro.sim.fastpath import NO_BATCH_ENV, NO_FASTPATH_ENV
+from repro.workloads.base import WorkloadPhase
+from repro.workloads.registry import make_corunner
+from repro.workloads.spec import LowPressureSpec
+
+MIN_SPEEDUP_VS_FASTPATH = 2.0
+MIN_SPEEDUP_VS_REFERENCE = 5.0
+REPEATS = 3
+ACCESSES = 150_000
+#: Pages; fits the 32-entry L1 DTLB, so the window is all mirror hits.
+FOOTPRINT = 28
+#: One hot block per page keeps the data side in the L1 as well.
+HOT_BLOCKS = 1
+MEASURED_SLICE = 512
+
+#: mode name -> env var forced to "1" for that mode (None = default).
+MODES = {
+    "batched": None,
+    "fastpath": NO_BATCH_ENV,
+    "reference": NO_FASTPATH_ENV,
+}
+
+
+def _run(mode):
+    """One full scenario run; returns (ops/sec, snapshot document)."""
+    saved = {
+        name: os.environ.pop(name, None)
+        for name in (NO_BATCH_ENV, NO_FASTPATH_ENV)
+    }
+    forced = MODES[mode]
+    if forced is not None:
+        os.environ[forced] = "1"
+    try:
+        from repro.sim.engine import Simulation
+
+        sim = Simulation(PlatformConfig())
+        sim.scheduler.ops_per_slice = OPS_PER_SLICE
+        corunner = sim.add_workload(make_corunner("objdet", 0), weight=2)
+        corunner.fast_forward = True
+        for _ in range(PRECHURN_TURNS):
+            sim.turn()
+        bench = sim.add_workload(
+            LowPressureSpec(
+                "leela",
+                0,
+                accesses=ACCESSES,
+                footprint=FOOTPRINT,
+                hot_blocks=HOT_BLOCKS,
+            )
+        )
+        bench.fast_forward = True
+        sim.run_until_phase(bench, WorkloadPhase.COMPUTE)
+        bench.fast_forward = False
+        sim.stop(corunner)
+        for _ in range(WARMUP_TURNS):
+            sim.turn()
+        sim.scheduler.ops_per_slice = MEASURED_SLICE
+        bench.start_measurement()
+        ops_before = bench.ops_executed
+        started = time.perf_counter()
+        sim.run_until_finished(bench)
+        elapsed = time.perf_counter() - started
+        rate = (bench.ops_executed - ops_before) / elapsed
+        result = sim.result_for(bench)
+        snapshot = snapshot_simulation("bench", sim, result)
+        return rate, snapshot.to_dict()
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def test_batch_speedup_with_identical_snapshots():
+    best = {mode: 0.0 for mode in MODES}
+    docs = {}
+    order = list(MODES)
+    for _ in range(REPEATS):
+        order = order[1:] + order[:1]
+        for mode in order:
+            rate, doc = _run(mode)
+            best[mode] = max(best[mode], rate)
+            docs[mode] = doc
+
+    # Identity gate first: speed means nothing if the model diverged.
+    rendered = {
+        mode: json.dumps(doc, indent=2, sort_keys=True)
+        for mode, doc in docs.items()
+    }
+    assert rendered["batched"] == rendered["fastpath"], (
+        "batched engine changed the modelled outcome vs the per-op fast "
+        "path; run python -m repro.obs diff on the two snapshots"
+    )
+    assert rendered["batched"] == rendered["reference"], (
+        "batched engine changed the modelled outcome vs the reference "
+        "engine; run python -m repro.obs diff on the two snapshots"
+    )
+
+    vs_fastpath = best["batched"] / best["fastpath"]
+    vs_reference = best["batched"] / best["reference"]
+    table = Table(
+        ["Mode", "ops/sec (best of %d)" % REPEATS],
+        title="Batched engine speedup (figure6-shaped window)",
+    )
+    table.add_row("batched", f"{best['batched']:,.0f}")
+    table.add_row("REPRO_NO_BATCH=1 (per-op fast path)", f"{best['fastpath']:,.0f}")
+    table.add_row("REPRO_NO_FASTPATH=1 (reference)", f"{best['reference']:,.0f}")
+    table.add_row("speedup vs fast path", f"{vs_fastpath:.2f}x")
+    table.add_row("speedup vs reference", f"{vs_reference:.2f}x")
+    print()
+    print(table.render())
+
+    # Ledger the measured rates (REPRO_STORE / REPRO_SNAPSHOT_DIR) before
+    # gating, so a regressing run still extends the trend history.
+    gauges = {
+        "bench.batch_ops_per_sec": best["batched"],
+        "bench.batch_vs_fastpath_speedup": vs_fastpath,
+        "bench.batch_vs_reference_speedup": vs_reference,
+    }
+    snapshot = MetricsSnapshot("batch_speedup")
+    for name in sorted(gauges):
+        REGISTRY.gauge(name)
+        snapshot.set(name, gauges[name])
+    emit_snapshots("batch_speedup", {"batch_speedup": snapshot})
+
+    assert vs_fastpath >= MIN_SPEEDUP_VS_FASTPATH
+    assert vs_reference >= MIN_SPEEDUP_VS_REFERENCE

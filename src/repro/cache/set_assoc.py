@@ -14,7 +14,7 @@ instead of O(num_sets).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..config import CacheConfig
 from ..units import CACHE_BLOCK_SIZE
@@ -45,6 +45,13 @@ class SetAssociativeCache:
         #: Resident-block count, maintained at every insert/remove so
         #: :meth:`occupancy` never walks the sets.
         self._occupancy = 0
+        #: Flat membership mirror: exactly the union of all set keys,
+        #: maintained at every fill/evict/invalidate/flush. Lets the
+        #: batched engine test a whole address segment for residency
+        #: with one C-level ``issuperset`` instead of per-op set
+        #: probes. A block's set index is a pure function of the block,
+        #: so flat membership is equivalent to per-set membership.
+        self.members: Set[int] = set()
 
     @property
     def name(self) -> str:
@@ -88,11 +95,14 @@ class SetAssociativeCache:
             return True
         self.misses += 1
         if len(ways) >= self.config.associativity:
-            del ways[next(iter(ways))]
+            victim = next(iter(ways))
+            del ways[victim]
+            self.members.remove(victim)
             self.evictions += 1
         else:
             self._occupancy += 1
         ways[block] = None
+        self.members.add(block)
         return False
 
     def fill(self, block: int) -> Optional[int]:
@@ -108,10 +118,12 @@ class SetAssociativeCache:
         elif len(ways) >= self.config.associativity:
             victim = next(iter(ways))
             del ways[victim]
+            self.members.remove(victim)
             self.evictions += 1
         else:
             self._occupancy += 1
         ways[block] = None
+        self.members.add(block)
         return victim
 
     def contains(self, block: int) -> bool:
@@ -123,6 +135,7 @@ class SetAssociativeCache:
         ways = self._set_for(block)
         if block in ways:
             del ways[block]
+            self.members.remove(block)
             self._occupancy -= 1
             return True
         return False
@@ -131,6 +144,7 @@ class SetAssociativeCache:
         """Empty the cache (counters preserved)."""
         for ways in self._sets:
             ways.clear()
+        self.members.clear()
         self._occupancy = 0
 
     def occupancy(self) -> int:

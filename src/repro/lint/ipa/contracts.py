@@ -99,7 +99,13 @@ GUEST_PT = MirrorContract(
     invalidators=(
         CallPattern(
             methods=frozenset(
-                {"_notify_unmap", "notify_unmap", "invalidate", "flush"}
+                {
+                    "_notify_unmap",
+                    "_notify_unmap_many",
+                    "notify_unmap",
+                    "invalidate",
+                    "flush",
+                }
             )
         ),
     ),
@@ -122,7 +128,9 @@ TLB_MIRROR = MirrorContract(
     invalidators=(
         CallPattern(methods=frozenset({"_mirror_l1"})),
         CallPattern(
-            methods=frozenset({"install", "invalidate", "flush"}),
+            methods=frozenset(
+                {"install", "invalidate", "invalidate_many", "flush"}
+            ),
             receiver_has=frozenset({"xlate"}),
         ),
     ),

@@ -82,7 +82,7 @@ HOT_ROOTS: Tuple[HotRoot, ...] = (
     HotRoot(
         name="engine-access-loop",
         module="repro.sim.engine",
-        qualnames=("WorkloadRun.step",),
+        qualnames=("WorkloadRun.step", "WorkloadRun._step_batched"),
         description=(
             "the per-slice op loop every modelled access funnels through"
         ),
@@ -97,6 +97,7 @@ HOT_ROOTS: Tuple[HotRoot, ...] = (
         qualnames=(
             "TranslationCache.install",
             "TranslationCache.invalidate",
+            "TranslationCache.invalidate_many",
             "TranslationCache.flush",
         ),
         description=(

@@ -52,11 +52,21 @@ maintenance overhead.
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
 
 #: Environment variable disabling the engine fast path when set to a
 #: non-empty value ("0" counts as set: any value disables).
 NO_FASTPATH_ENV = "REPRO_NO_FASTPATH"
+
+#: Environment variable disabling the *batched* engine core while
+#: keeping the per-op translation fast path (the PR-5 engine). Same
+#: semantics as NO_FASTPATH_ENV: any value disables. The three-mode
+#: ladder -- batched (default), REPRO_NO_BATCH=1 (per-op fast path),
+#: REPRO_NO_FASTPATH=1 (fully interpreted reference) -- is what the
+#: speedup benches compare, all byte-identical.
+NO_BATCH_ENV = "REPRO_NO_BATCH"
 
 #: A translation-cache entry: (host frame, L1 TLB set dict, writable).
 Entry = Tuple[int, Dict[int, int], bool]
@@ -72,6 +82,18 @@ def fastpath_enabled() -> bool:
     return not os.environ.get(NO_FASTPATH_ENV)
 
 
+def batch_enabled() -> bool:
+    """True unless ``REPRO_NO_BATCH`` is set in the environment.
+
+    Read at :class:`~repro.sim.engine.WorkloadRun` construction (not
+    import), like :func:`fastpath_enabled`, so tests and the batch
+    speedup bench can flip engine modes per simulation. Only meaningful
+    when the fast path itself is enabled: without the translation
+    mirror there is nothing for the batch loop to probe.
+    """
+    return not os.environ.get(NO_BATCH_ENV)
+
+
 class TranslationCache(dict):
     """Per-core ``vpn -> (hfn, l1_ways, writable)`` mirror of the L1 TLB.
 
@@ -79,9 +101,30 @@ class TranslationCache(dict):
     named methods below are the *invalidation hooks* every PTE/TLB
     mutation site must reach (the ``fastpath-invalidation`` lint rule
     enforces this statically for kernel code).
+
+    Alongside the dict, two dense numpy views of the same mirror let
+    the batched engine probe a whole address segment at once:
+
+    ``hfn6``
+        ``vpn -> hfn << 6`` (the cache-block prefix of the host frame),
+        or ``-1`` where no entry exists. One fancy-index gather turns a
+        segment of virtual page numbers into cache-block numbers.
+    ``hfn6_w``
+        Same, but ``-1`` also where the entry is read-only, so write
+        segments can use the identical gather without a permission
+        loop (a read-only entry must fall back to the COW slow path).
+
+    Both arrays are maintained at exactly the four mutation hooks below
+    and grow by doubling on install; indices past the current size are
+    simply absent (the engine bounds-checks before gathering).
     """
 
-    __slots__ = ()
+    __slots__ = ("hfn6", "hfn6_w")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hfn6 = np.full(1, -1, dtype=np.int64)
+        self.hfn6_w = np.full(1, -1, dtype=np.int64)
 
     def install(self, vpn: int, hfn: int, ways: Dict[int, int], writable: bool = True) -> None:
         """Mirror ``vpn``'s L1 residency; called on L1 insert/promotion."""
@@ -89,11 +132,43 @@ class TranslationCache(dict):
         # the mirror design fundamentally needs (install runs on L1
         # *misses*, not on the per-access hit probe).
         self[vpn] = (hfn, ways, writable)  # simlint: disable=hotpath-alloc
+        hfn6 = self.hfn6
+        if vpn >= hfn6.shape[0]:
+            size = hfn6.shape[0]
+            while size <= vpn:
+                size *= 2
+            grown = np.full(size, -1, dtype=np.int64)  # simlint: disable=hotpath-alloc
+            grown[: hfn6.shape[0]] = hfn6
+            self.hfn6 = hfn6 = grown
+            grown = np.full(size, -1, dtype=np.int64)  # simlint: disable=hotpath-alloc
+            grown[: self.hfn6_w.shape[0]] = self.hfn6_w
+            self.hfn6_w = grown
+        hfn6[vpn] = hfn << 6
+        self.hfn6_w[vpn] = (hfn << 6) if writable else -1
 
     def invalidate(self, vpn: int) -> None:
         """Drop one page (L1 eviction, TLB shootdown, PTE mutation)."""
-        self.pop(vpn, None)
+        if self.pop(vpn, None) is not None:
+            self.hfn6[vpn] = -1
+            self.hfn6_w[vpn] = -1
+
+    def invalidate_many(self, vpns: Iterable[int]) -> None:
+        """Drop a batch of pages (bulk TLB shootdown, e.g. a THP split).
+
+        One mirror entry point per shootdown *range* instead of one
+        call per page; removals are order-independent pure deletes, so
+        the result is identical to per-page :meth:`invalidate` calls.
+        """
+        pop = self.pop
+        hfn6 = self.hfn6
+        hfn6_w = self.hfn6_w
+        for vpn in vpns:
+            if pop(vpn, None) is not None:
+                hfn6[vpn] = -1
+                hfn6_w[vpn] = -1
 
     def flush(self) -> None:
         """Drop everything (full TLB flush / context switch)."""
         self.clear()
+        self.hfn6.fill(-1)
+        self.hfn6_w.fill(-1)

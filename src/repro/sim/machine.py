@@ -47,6 +47,17 @@ class CoreContext:
         self.tlb.invalidate(vpn)
         self.guest_pwc.invalidate_vpn(vpn)
 
+    def invalidate_translations(self, vpns) -> None:
+        """Bulk shootdown of a page range (e.g. a THP split's 512 pages).
+
+        Same effect as per-page :meth:`invalidate_translation` calls --
+        one TLB/mirror entry per call chain instead of per page.
+        """
+        self.tlb.invalidate_many(vpns)
+        invalidate_vpn = self.guest_pwc.invalidate_vpn
+        for vpn in vpns:
+            invalidate_vpn(vpn)
+
     def flush_translations(self) -> None:
         """Full shootdown (guest PT replaced wholesale)."""
         self.tlb.flush()

@@ -154,6 +154,20 @@ class TlbHierarchy:
         if self.xlate is not None:
             self.xlate.invalidate(vpn)
 
+    def invalidate_many(self, vpns) -> None:
+        """Shoot down a batch of pages (bulk flavour of invalidate).
+
+        Per-page removal from both levels, then one bulk mirror call;
+        removals commute, so state matches per-page invalidates.
+        """
+        l1 = self.l1
+        l2 = self.l2
+        for vpn in vpns:
+            l1.invalidate(vpn)
+            l2.invalidate(vpn)
+        if self.xlate is not None:
+            self.xlate.invalidate_many(vpns)
+
     def flush(self) -> None:
         """Drop everything from both levels."""
         self.l1.flush()

@@ -21,18 +21,21 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Dict, Iterable, Iterator, List, Union
 
 from ..errors import WorkloadError
 from .base import (
+    CHUNK_SIZE,
     AccessOp,
     BrkOp,
     FreeOp,
     MemoryOp,
     MmapOp,
+    OpChunk,
     PhaseOp,
     Workload,
     WorkloadPhase,
+    pack_chunk,
 )
 
 
@@ -147,3 +150,52 @@ class TraceWorkload(Workload):
 
     def ops(self) -> Iterator[MemoryOp]:
         return load_trace(self.path)
+
+    def ops_batched(self) -> Iterator[OpChunk]:
+        # Native packer: access records go straight from parsed JSON into
+        # the chunk arrays, skipping the per-record AccessOp that ops()
+        # constructs. Parse errors surface identically to load_trace.
+        regions: List[str] = []
+        intern_index: Dict[str, int] = {}
+        ridx: List[int] = []
+        pages: List[int] = []
+        blocks: List[int] = []
+        writes: List[bool] = []
+        with open(self.path) as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise WorkloadError(
+                        f"{self.path}:{line_number}: invalid JSON ({exc})"
+                    ) from exc
+                if record.get("op") == "access":
+                    region = record["region"]
+                    idx = intern_index.get(region)
+                    if idx is None:
+                        idx = intern_index[region] = len(regions)
+                        regions.append(region)
+                    ridx.append(idx)
+                    pages.append(int(record["page"]))
+                    blocks.append(int(record.get("block", 0)) & 63)
+                    writes.append(bool(record.get("write", False)))
+                    if len(pages) >= CHUNK_SIZE:
+                        yield pack_chunk(
+                            tuple(regions), ridx, pages, blocks, writes
+                        )
+                        ridx, pages, blocks, writes = [], [], [], []
+                    continue
+                yield pack_chunk(
+                    tuple(regions),
+                    ridx,
+                    pages,
+                    blocks,
+                    writes,
+                    record_to_op(record),
+                )
+                ridx, pages, blocks, writes = [], [], [], []
+        if pages:
+            yield pack_chunk(tuple(regions), ridx, pages, blocks, writes)
